@@ -1,0 +1,41 @@
+// Shared formatting helpers for the reproduction benches. Each bench binary
+// regenerates one table/figure of the paper and prints paper-vs-measured
+// rows so EXPERIMENTS.md can be filled from the output directly.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace simcov::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& label, const std::string& value) {
+  std::printf("  %-52s %s\n", label.c_str(), value.c_str());
+}
+
+inline void row(const std::string& label, double value) {
+  std::printf("  %-52s %.6g\n", label.c_str(), value);
+}
+
+inline void row(const std::string& label, std::size_t value) {
+  std::printf("  %-52s %zu\n", label.c_str(), value);
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace simcov::bench

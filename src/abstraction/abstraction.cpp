@@ -1,0 +1,144 @@
+#include "abstraction/abstraction.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace simcov::abstraction {
+
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::NondetMealyMachine;
+using fsm::StateId;
+
+StateAbstraction::StateAbstraction(std::vector<StateId> map,
+                                   StateId num_abstract)
+    : map_(std::move(map)), num_abstract_(num_abstract) {
+  preimages_.resize(num_abstract_);
+  for (StateId c = 0; c < map_.size(); ++c) {
+    if (map_[c] >= num_abstract_) {
+      throw std::invalid_argument(
+          "StateAbstraction: map value out of abstract range");
+    }
+    preimages_[map_[c]].push_back(c);
+  }
+  for (StateId a = 0; a < num_abstract_; ++a) {
+    if (preimages_[a].empty()) {
+      throw std::invalid_argument(
+          "StateAbstraction: map is not surjective (empty abstract state)");
+    }
+  }
+}
+
+StateAbstraction StateAbstraction::identity(StateId n) {
+  std::vector<StateId> map(n);
+  for (StateId s = 0; s < n; ++s) map[s] = s;
+  return StateAbstraction(std::move(map), n);
+}
+
+NondetMealyMachine quotient_machine(const MealyMachine& concrete,
+                                    const StateAbstraction& abs) {
+  if (abs.num_concrete() != concrete.num_states()) {
+    throw std::invalid_argument(
+        "quotient_machine: abstraction domain does not match machine");
+  }
+  NondetMealyMachine q(abs.num_abstract(), concrete.num_inputs());
+  q.set_initial_state(abs.apply(concrete.initial_state()));
+  for (StateId s = 0; s < concrete.num_states(); ++s) {
+    for (InputId i = 0; i < concrete.num_inputs(); ++i) {
+      const auto t = concrete.transition(s, i);
+      if (!t.has_value()) continue;
+      q.add_transition(abs.apply(s), i, abs.apply(t->next), t->output);
+    }
+  }
+  return q;
+}
+
+AbstractionReport analyze_abstraction(const MealyMachine& concrete,
+                                      const StateAbstraction& abs) {
+  if (abs.num_concrete() != concrete.num_states()) {
+    throw std::invalid_argument(
+        "analyze_abstraction: abstraction domain does not match machine");
+  }
+  AbstractionReport report;
+  const auto reachable = concrete.reachable_states(concrete.initial_state());
+  // Rebuild the quotient restricted to reachable concrete states.
+  NondetMealyMachine q(abs.num_abstract(), concrete.num_inputs());
+  for (StateId s = 0; s < concrete.num_states(); ++s) {
+    if (!reachable[s]) continue;
+    for (InputId i = 0; i < concrete.num_inputs(); ++i) {
+      const auto t = concrete.transition(s, i);
+      if (!t.has_value()) continue;
+      q.add_transition(abs.apply(s), i, abs.apply(t->next), t->output);
+    }
+  }
+  report.deterministic = q.is_deterministic();
+  report.nondet_output_pairs = q.output_nondeterministic_pairs();
+  report.output_deterministic = report.nondet_output_pairs.empty();
+  return report;
+}
+
+OutputErrorClass classify_output_error(const MealyMachine& spec,
+                                       const errmodel::Mutation& mut,
+                                       const StateAbstraction& abs,
+                                       StateId start) {
+  if (mut.kind != errmodel::ErrorKind::kOutput) {
+    throw std::invalid_argument(
+        "classify_output_error: mutation is not an output error");
+  }
+  const MealyMachine mutant = errmodel::apply_mutation(spec, mut);
+  const StateId abstract_state = abs.apply(mut.at.state);
+  const InputId input = mut.at.input;
+  const auto reachable = spec.reachable_states(start);
+  std::size_t wrong = 0;
+  std::size_t total = 0;
+  for (StateId c : abs.preimage(abstract_state)) {
+    if (!reachable[c]) continue;
+    const auto ts = spec.transition(c, input);
+    const auto tm = mutant.transition(c, input);
+    if (!ts.has_value()) continue;
+    ++total;
+    if (ts->output != tm->output) ++wrong;
+  }
+  if (wrong == 0) return OutputErrorClass::kNoError;
+  return wrong == total ? OutputErrorClass::kUniform
+                        : OutputErrorClass::kNonUniform;
+}
+
+StateAbstraction variable_projection(unsigned width,
+                                     std::span<const unsigned> kept) {
+  if (width >= 31) {
+    throw std::invalid_argument(
+        "variable_projection: width too large for explicit enumeration");
+  }
+  for (unsigned v : kept) {
+    if (v >= width) {
+      throw std::invalid_argument("variable_projection: kept var >= width");
+    }
+  }
+  const StateId n = StateId{1} << width;
+  const StateId na = StateId{1} << kept.size();
+  std::vector<StateId> map(n);
+  for (StateId c = 0; c < n; ++c) {
+    StateId a = 0;
+    for (std::size_t b = 0; b < kept.size(); ++b) {
+      if ((c >> kept[b]) & 1u) a |= StateId{1} << b;
+    }
+    map[c] = a;
+  }
+  return StateAbstraction(std::move(map), na);
+}
+
+StateAbstraction compose(const StateAbstraction& inner,
+                         const StateAbstraction& outer) {
+  if (outer.num_concrete() != inner.num_abstract()) {
+    throw std::invalid_argument("compose: domains do not line up");
+  }
+  std::vector<StateId> map(inner.num_concrete());
+  for (StateId c = 0; c < inner.num_concrete(); ++c) {
+    map[c] = outer.apply(inner.apply(c));
+  }
+  return StateAbstraction(std::move(map), outer.num_abstract());
+}
+
+}  // namespace simcov::abstraction

@@ -1,0 +1,110 @@
+// Homomorphic abstraction of test models (Section 6 of the paper).
+//
+// The test model is derived from the implementation by a many-to-one,
+// transition-preserving mapping A from concrete to abstract states
+// (Section 6.1). Two consequences drive this module's API:
+//
+//  * State merging can introduce *output nondeterminism* in the quotient
+//    machine — the symptom of "abstracting too much" (Section 6.3): an
+//    output error on an abstract transition is then no longer uniform
+//    (Requirement 1), and a transition tour may miss it.
+//  * ∀k-distinguishability is inherited through transition-preserving
+//    abstraction (Section 6.2), which tests here verify empirically.
+//
+// In practice abstractions are mappings over *state variables* rather than
+// states (the paper calls out the logarithmic complexity win); the
+// VariableProjection helper builds exactly those maps for bit-encoded state
+// spaces, and is what the DLX test-model ladder (Figure 3(b)) uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "errmodel/errmodel.hpp"
+#include "fsm/mealy.hpp"
+#include "fsm/nondet.hpp"
+
+namespace simcov::abstraction {
+
+/// A surjective map from concrete states onto abstract states.
+class StateAbstraction {
+ public:
+  /// `map[c]` is the abstract state of concrete state c; every abstract id
+  /// in [0, num_abstract) must appear (surjectivity is validated).
+  StateAbstraction(std::vector<fsm::StateId> map, fsm::StateId num_abstract);
+
+  [[nodiscard]] fsm::StateId apply(fsm::StateId concrete) const {
+    return map_[concrete];
+  }
+  [[nodiscard]] fsm::StateId num_concrete() const {
+    return static_cast<fsm::StateId>(map_.size());
+  }
+  [[nodiscard]] fsm::StateId num_abstract() const { return num_abstract_; }
+  /// Concrete states mapping to abstract state `a`.
+  [[nodiscard]] std::span<const fsm::StateId> preimage(fsm::StateId a) const {
+    return preimages_[a];
+  }
+
+  /// The identity abstraction on n states.
+  static StateAbstraction identity(fsm::StateId n);
+
+ private:
+  std::vector<fsm::StateId> map_;
+  fsm::StateId num_abstract_;
+  std::vector<std::vector<fsm::StateId>> preimages_;
+};
+
+/// Builds the quotient machine: for every concrete transition s -i-> (s', o),
+/// the abstract machine gets A(s) -i-> (A(s'), o). By construction this is
+/// transition-preserving; it may be nondeterministic.
+fsm::NondetMealyMachine quotient_machine(const fsm::MealyMachine& concrete,
+                                         const StateAbstraction& abs);
+
+/// Structural quality report of an abstraction (restricted to the part of
+/// the concrete machine reachable from its initial state).
+struct AbstractionReport {
+  /// Quotient has at most one edge per (state, input).
+  bool deterministic = false;
+  /// Quotient has a unique output per (state, input). When false, output
+  /// errors on the listed abstract transitions are not guaranteed uniform —
+  /// a Requirement 1 violation hazard (the paper's "abstracting too much").
+  bool output_deterministic = false;
+  std::vector<fsm::TransitionRef> nondet_output_pairs;
+};
+
+AbstractionReport analyze_abstraction(const fsm::MealyMachine& concrete,
+                                      const StateAbstraction& abs);
+
+/// Classification of an output error at the abstract level (Definitions 1/2
+/// lifted through the abstraction).
+enum class OutputErrorClass : std::uint8_t {
+  kNoError,     ///< no concrete transition in the preimage has a wrong output
+  kUniform,     ///< every concrete preimage transition has a wrong output
+  kNonUniform,  ///< some do, some don't — a tour may pick a clean one
+};
+
+/// Classifies the output error that `mut` (an output mutation of `spec`)
+/// induces on its abstract transition (A(state), input): compares spec and
+/// mutant outputs across all *reachable* concrete transitions mapping to the
+/// same abstract transition.
+OutputErrorClass classify_output_error(const fsm::MealyMachine& spec,
+                                       const errmodel::Mutation& mut,
+                                       const StateAbstraction& abs,
+                                       fsm::StateId start);
+
+/// Abstraction over state *variables* for bit-encoded state spaces: concrete
+/// state ids are read as `width`-bit vectors (bit v = variable v) and mapped
+/// by keeping only the variables in `kept` (in the given order; kept.size()
+/// result bits). This is the special, logarithmic-cost form of abstraction
+/// the paper recommends.
+StateAbstraction variable_projection(unsigned width,
+                                     std::span<const unsigned> kept);
+
+/// Composition: first `outer` after `inner` (inner maps concrete -> mid,
+/// outer maps mid -> final). Models abstraction ladders such as Fig. 3(b).
+StateAbstraction compose(const StateAbstraction& inner,
+                         const StateAbstraction& outer);
+
+}  // namespace simcov::abstraction

@@ -1,0 +1,836 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace simcov::bdd {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: cheap and well-distributed.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash3(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c) noexcept {
+  return mix64(a * 0x100000001b3ull + mix64(b) * 31 + mix64(c));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, NodeIndex idx) noexcept : mgr_(mgr), idx_(idx) {
+  if (mgr_ != nullptr) mgr_->ref(idx_);
+}
+
+Bdd::Bdd(const Bdd& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
+  if (mgr_ != nullptr) mgr_->ref(idx_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) noexcept {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref(other.idx_);
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+}
+
+unsigned Bdd::top_var() const {
+  assert(valid() && !is_constant());
+  return mgr_->var_of(idx_);
+}
+
+Bdd Bdd::low() const {
+  assert(valid() && !is_constant());
+  return Bdd(mgr_, mgr_->nodes_[idx_].low);
+}
+
+Bdd Bdd::high() const {
+  assert(valid() && !is_constant());
+  return Bdd(mgr_, mgr_->nodes_[idx_].high);
+}
+
+Bdd Bdd::operator!() const { return mgr_->apply_not(*this); }
+Bdd Bdd::operator&(const Bdd& rhs) const { return mgr_->apply_and(*this, rhs); }
+Bdd Bdd::operator|(const Bdd& rhs) const { return mgr_->apply_or(*this, rhs); }
+Bdd Bdd::operator^(const Bdd& rhs) const { return mgr_->apply_xor(*this, rhs); }
+Bdd& Bdd::operator&=(const Bdd& rhs) { return *this = *this & rhs; }
+Bdd& Bdd::operator|=(const Bdd& rhs) { return *this = *this | rhs; }
+Bdd& Bdd::operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
+Bdd Bdd::implies(const Bdd& rhs) const { return (!*this) | rhs; }
+Bdd Bdd::iff(const Bdd& rhs) const { return !(*this ^ rhs); }
+
+std::size_t Bdd::node_count() const { return mgr_->node_count(*this); }
+
+// ---------------------------------------------------------------------------
+// BddManager: construction, node store, unique table
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(unsigned cache_bits) {
+  nodes_.reserve(1u << 12);
+  // Slots 0 and 1 are the constant leaves.
+  nodes_.push_back(Node{kInvalidVar, 0, 0, 0});
+  nodes_.push_back(Node{kInvalidVar, 1, 1, 0});
+  ext_refs_.assign(2, 0);
+
+  buckets_.assign(1u << 12, 0);
+  bucket_mask_ = buckets_.size() - 1;
+
+  cache_.assign(std::size_t{1} << cache_bits, CacheEntry{});
+  cache_mask_ = cache_.size() - 1;
+}
+
+BddManager::~BddManager() = default;
+
+void BddManager::ref(NodeIndex idx) noexcept { ++ext_refs_[idx]; }
+
+void BddManager::deref(NodeIndex idx) noexcept {
+  assert(ext_refs_[idx] > 0);
+  --ext_refs_[idx];
+}
+
+std::size_t BddManager::cache_slot(std::uint64_t key, NodeIndex a, NodeIndex b,
+                                   NodeIndex c) const noexcept {
+  return static_cast<std::size_t>(
+             hash3((key << 32) | a, b, c)) &
+         cache_mask_;
+}
+
+bool BddManager::cache_find(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                            NodeIndex& out) {
+  ++stats_.cache_lookups;
+  const std::uint64_t key = static_cast<std::uint64_t>(op);
+  const CacheEntry& e = cache_[cache_slot(key, a, b, c)];
+  if (e.key == key && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cache_insert(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                              NodeIndex result) {
+  const std::uint64_t key = static_cast<std::uint64_t>(op);
+  CacheEntry& e = cache_[cache_slot(key, a, b, c)];
+  e = CacheEntry{key, a, b, c, result};
+}
+
+NodeIndex BddManager::alloc_slot() {
+  if (free_list_ != 0) {
+    const NodeIndex idx = free_list_;
+    free_list_ = nodes_[idx].low;
+    --free_count_;
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  ext_refs_.push_back(0);
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void BddManager::grow_buckets() {
+  std::vector<NodeIndex> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, 0);
+  bucket_mask_ = buckets_.size() - 1;
+  for (NodeIndex head : old) {
+    NodeIndex n = head;
+    while (n != 0) {
+      const NodeIndex next = nodes_[n].next;
+      const std::size_t slot =
+          static_cast<std::size_t>(
+              hash3(nodes_[n].var, nodes_[n].low, nodes_[n].high)) &
+          bucket_mask_;
+      nodes_[n].next = buckets_[slot];
+      buckets_[slot] = n;
+      n = next;
+    }
+  }
+}
+
+NodeIndex BddManager::make_node(unsigned var, NodeIndex low, NodeIndex high) {
+  if (low == high) return low;  // reduction rule
+  ++stats_.unique_lookups;
+  const std::size_t slot =
+      static_cast<std::size_t>(hash3(var, low, high)) & bucket_mask_;
+  for (NodeIndex n = buckets_[slot]; n != 0; n = nodes_[n].next) {
+    const Node& nd = nodes_[n];
+    if (nd.var == var && nd.low == low && nd.high == high) {
+      ++stats_.unique_hits;
+      return n;
+    }
+  }
+  const NodeIndex idx = alloc_slot();
+  nodes_[idx] = Node{var, low, high, buckets_[slot]};
+  buckets_[slot] = idx;
+  ++live_estimate_;
+  if (nodes_.size() - free_count_ > buckets_.size()) grow_buckets();
+  return idx;
+}
+
+void BddManager::maybe_gc() {
+  if (live_estimate_ < gc_threshold_) return;
+  const std::size_t before = nodes_.size() - free_count_;
+  collect_garbage();
+  const std::size_t after = nodes_.size() - free_count_;
+  // If little was reclaimed, raise the threshold so we don't thrash.
+  if (after * 4 > before * 3) gc_threshold_ *= 2;
+  live_estimate_ = 0;
+}
+
+void BddManager::collect_garbage() {
+  ++stats_.gc_runs;
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[0] = marked[1] = true;
+  // Iterative DFS from every externally referenced node.
+  std::vector<NodeIndex> stack;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (ext_refs_[i] > 0 && !marked[i]) stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (marked[n]) continue;
+    marked[n] = true;
+    const Node& nd = nodes_[n];
+    if (nd.var == kInvalidVar) continue;  // constant or free
+    if (!marked[nd.low]) stack.push_back(nd.low);
+    if (!marked[nd.high]) stack.push_back(nd.high);
+  }
+  // Sweep: rebuild the unique table from marked nodes; free the rest.
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  free_list_ = 0;
+  free_count_ = 0;
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    Node& nd = nodes_[i];
+    if (nd.var == kInvalidVar && !marked[i]) continue;  // already free slot
+    if (marked[i]) {
+      const std::size_t slot =
+          static_cast<std::size_t>(hash3(nd.var, nd.low, nd.high)) &
+          bucket_mask_;
+      nd.next = buckets_[slot];
+      buckets_[slot] = i;
+    } else {
+      nd.var = kInvalidVar;
+      nd.low = free_list_;
+      free_list_ = i;
+    }
+  }
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == kInvalidVar) ++free_count_;
+  }
+  // The cache may reference dead nodes: drop it wholesale.
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+BddStats BddManager::stats() const {
+  BddStats s = stats_;
+  s.allocated_nodes = nodes_.size();
+  s.free_nodes = free_count_;
+  s.live_nodes = nodes_.size() - free_count_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Constants, variables, cubes
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::zero() { return Bdd(this, 0); }
+Bdd BddManager::one() { return Bdd(this, 1); }
+
+Bdd BddManager::var(unsigned var_id) {
+  if (var_id >= num_vars_) num_vars_ = var_id + 1;
+  return Bdd(this, make_node(var_id, 0, 1));
+}
+
+Bdd BddManager::literal(unsigned var_id, bool positive) {
+  if (var_id >= num_vars_) num_vars_ = var_id + 1;
+  return positive ? Bdd(this, make_node(var_id, 0, 1))
+                  : Bdd(this, make_node(var_id, 1, 0));
+}
+
+Bdd BddManager::cube(std::span<const unsigned> vars) {
+  std::vector<unsigned> sorted(vars.begin(), vars.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  NodeIndex acc = 1;
+  for (unsigned v : sorted) {
+    if (v >= num_vars_) num_vars_ = v + 1;
+    acc = make_node(v, 0, acc);
+  }
+  return Bdd(this, acc);
+}
+
+Bdd BddManager::minterm(std::span<const unsigned> vars,
+                        const std::vector<bool>& values) {
+  if (vars.size() != values.size()) {
+    throw std::invalid_argument("minterm: vars/values size mismatch");
+  }
+  std::vector<std::pair<unsigned, bool>> lits;
+  lits.reserve(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    lits.emplace_back(vars[i], values[i]);
+  }
+  std::sort(lits.begin(), lits.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  NodeIndex acc = 1;
+  for (const auto& [v, val] : lits) {
+    if (v >= num_vars_) num_vars_ = v + 1;
+    acc = val ? make_node(v, 0, acc) : make_node(v, acc, 0);
+  }
+  return Bdd(this, acc);
+}
+
+// ---------------------------------------------------------------------------
+// Core recursive operations
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::not_rec(NodeIndex f) {
+  if (f == 0) return 1;
+  if (f == 1) return 0;
+  NodeIndex cached;
+  if (cache_find(Op::kNot, f, 0, 0, cached)) return cached;
+  const Node nd = nodes_[f];
+  const NodeIndex r = make_node(nd.var, not_rec(nd.low), not_rec(nd.high));
+  cache_insert(Op::kNot, f, 0, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::and_rec(NodeIndex f, NodeIndex g) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1) return g;
+  if (g == 1) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);  // commutative: normalize operand order
+  NodeIndex cached;
+  if (cache_find(Op::kAnd, f, g, 0, cached)) return cached;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const unsigned v = std::min(nf.var, ng.var);
+  const NodeIndex f0 = nf.var == v ? nf.low : f;
+  const NodeIndex f1 = nf.var == v ? nf.high : f;
+  const NodeIndex g0 = ng.var == v ? ng.low : g;
+  const NodeIndex g1 = ng.var == v ? ng.high : g;
+  const NodeIndex r = make_node(v, and_rec(f0, g0), and_rec(f1, g1));
+  cache_insert(Op::kAnd, f, g, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::or_rec(NodeIndex f, NodeIndex g) {
+  if (f == 1 || g == 1) return 1;
+  if (f == 0) return g;
+  if (g == 0) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);
+  NodeIndex cached;
+  if (cache_find(Op::kOr, f, g, 0, cached)) return cached;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const unsigned v = std::min(nf.var, ng.var);
+  const NodeIndex f0 = nf.var == v ? nf.low : f;
+  const NodeIndex f1 = nf.var == v ? nf.high : f;
+  const NodeIndex g0 = ng.var == v ? ng.low : g;
+  const NodeIndex g1 = ng.var == v ? ng.high : g;
+  const NodeIndex r = make_node(v, or_rec(f0, g0), or_rec(f1, g1));
+  cache_insert(Op::kOr, f, g, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::xor_rec(NodeIndex f, NodeIndex g) {
+  if (f == g) return 0;
+  if (f == 0) return g;
+  if (g == 0) return f;
+  if (f == 1) return not_rec(g);
+  if (g == 1) return not_rec(f);
+  if (f > g) std::swap(f, g);
+  NodeIndex cached;
+  if (cache_find(Op::kXor, f, g, 0, cached)) return cached;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const unsigned v = std::min(nf.var, ng.var);
+  const NodeIndex f0 = nf.var == v ? nf.low : f;
+  const NodeIndex f1 = nf.var == v ? nf.high : f;
+  const NodeIndex g0 = ng.var == v ? ng.low : g;
+  const NodeIndex g1 = ng.var == v ? ng.high : g;
+  const NodeIndex r = make_node(v, xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_insert(Op::kXor, f, g, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::ite_rec(NodeIndex f, NodeIndex g, NodeIndex h) {
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+  if (g == 0 && h == 1) return not_rec(f);
+  NodeIndex cached;
+  if (cache_find(Op::kIte, f, g, h, cached)) return cached;
+  const Node& nf = nodes_[f];
+  unsigned v = nf.var;
+  if (!is_const(g)) v = std::min(v, nodes_[g].var);
+  if (!is_const(h)) v = std::min(v, nodes_[h].var);
+  auto cof = [this, v](NodeIndex x, bool hi) -> NodeIndex {
+    if (is_const(x) || nodes_[x].var != v) return x;
+    return hi ? nodes_[x].high : nodes_[x].low;
+  };
+  const NodeIndex r = make_node(
+      v, ite_rec(cof(f, false), cof(g, false), cof(h, false)),
+      ite_rec(cof(f, true), cof(g, true), cof(h, true)));
+  cache_insert(Op::kIte, f, g, h, r);
+  return r;
+}
+
+NodeIndex BddManager::exists_rec(NodeIndex f, NodeIndex cube) {
+  if (is_const(f)) return f;
+  // Skip cube variables above f's top variable.
+  while (!is_const(cube) && nodes_[cube].var < nodes_[f].var) {
+    cube = nodes_[cube].high;
+  }
+  if (is_const(cube)) return f;
+  NodeIndex cached;
+  if (cache_find(Op::kExists, f, cube, 0, cached)) return cached;
+  // Copy fields before recursing: make_node may reallocate nodes_.
+  const Node nf = nodes_[f];
+  const Node ncube = nodes_[cube];
+  NodeIndex r;
+  if (nf.var == ncube.var) {
+    const NodeIndex lo = exists_rec(nf.low, ncube.high);
+    if (lo == 1) {
+      r = 1;  // early termination: disjunction already true
+    } else {
+      const NodeIndex hi = exists_rec(nf.high, ncube.high);
+      r = or_rec(lo, hi);
+    }
+  } else {
+    const NodeIndex lo = exists_rec(nf.low, cube);
+    const NodeIndex hi = exists_rec(nf.high, cube);
+    r = make_node(nf.var, lo, hi);
+  }
+  cache_insert(Op::kExists, f, cube, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g,
+                                     NodeIndex cube) {
+  if (f == 0 || g == 0) return 0;
+  if (cube == 1) return and_rec(f, g);
+  if (f == 1 && g == 1) return 1;
+  if (f > g) std::swap(f, g);  // AND is commutative
+  NodeIndex cached;
+  if (cache_find(Op::kAndExists, f, g, cube, cached)) return cached;
+  const unsigned vf = is_const(f) ? kInvalidVar : nodes_[f].var;
+  const unsigned vg = is_const(g) ? kInvalidVar : nodes_[g].var;
+  const unsigned v = std::min(vf, vg);
+  // Drop quantified variables above the top of f & g: they are vacuous.
+  NodeIndex cb = cube;
+  while (!is_const(cb) && nodes_[cb].var < v) cb = nodes_[cb].high;
+  if (is_const(cb)) {
+    const NodeIndex r = and_rec(f, g);
+    cache_insert(Op::kAndExists, f, g, cube, r);
+    return r;
+  }
+  const NodeIndex f0 = (vf == v) ? nodes_[f].low : f;
+  const NodeIndex f1 = (vf == v) ? nodes_[f].high : f;
+  const NodeIndex g0 = (vg == v) ? nodes_[g].low : g;
+  const NodeIndex g1 = (vg == v) ? nodes_[g].high : g;
+  NodeIndex r;
+  if (nodes_[cb].var == v) {
+    const NodeIndex lo = and_exists_rec(f0, g0, nodes_[cb].high);
+    if (lo == 1) {
+      r = 1;
+    } else {
+      const NodeIndex hi = and_exists_rec(f1, g1, nodes_[cb].high);
+      r = or_rec(lo, hi);
+    }
+  } else {
+    r = make_node(v, and_exists_rec(f0, g0, cb), and_exists_rec(f1, g1, cb));
+  }
+  cache_insert(Op::kAndExists, f, g, cube, r);
+  return r;
+}
+
+NodeIndex BddManager::cofactor_rec(NodeIndex f, unsigned var_id, bool value) {
+  if (is_const(f) || nodes_[f].var > var_id) return f;
+  if (nodes_[f].var == var_id) return value ? nodes_[f].high : nodes_[f].low;
+  NodeIndex cached;
+  const NodeIndex tag = (var_id << 1) | static_cast<NodeIndex>(value);
+  if (cache_find(Op::kCofactor, f, tag, 0, cached)) return cached;
+  // Copy fields before recursing: make_node may reallocate nodes_.
+  const Node nf = nodes_[f];
+  const NodeIndex lo = cofactor_rec(nf.low, var_id, value);
+  const NodeIndex hi = cofactor_rec(nf.high, var_id, value);
+  const NodeIndex r = make_node(nf.var, lo, hi);
+  cache_insert(Op::kCofactor, f, tag, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::constrain_rec(NodeIndex f, NodeIndex c) {
+  assert(c != 0);
+  if (c == 1 || is_const(f)) return f;
+  NodeIndex cached;
+  if (cache_find(Op::kConstrain, f, c, 0, cached)) return cached;
+  const unsigned vf = nodes_[f].var;
+  const unsigned vc = nodes_[c].var;
+  const unsigned v = std::min(vf, vc);
+  const NodeIndex f0 = (vf == v) ? nodes_[f].low : f;
+  const NodeIndex f1 = (vf == v) ? nodes_[f].high : f;
+  const NodeIndex c0 = (vc == v) ? nodes_[c].low : c;
+  const NodeIndex c1 = (vc == v) ? nodes_[c].high : c;
+  NodeIndex r;
+  if (c0 == 0) {
+    r = constrain_rec(f1, c1);
+  } else if (c1 == 0) {
+    r = constrain_rec(f0, c0);
+  } else {
+    r = make_node(v, constrain_rec(f0, c0), constrain_rec(f1, c1));
+  }
+  cache_insert(Op::kConstrain, f, c, 0, r);
+  return r;
+}
+
+NodeIndex BddManager::compose_rec(NodeIndex f, unsigned var_id, NodeIndex g) {
+  if (is_const(f)) return f;
+  const unsigned vf = nodes_[f].var;
+  if (vf > var_id) return f;  // var_id cannot appear below this level
+  NodeIndex cached;
+  if (cache_find(Op::kCompose, f, var_id, g, cached)) return cached;
+  NodeIndex r;
+  if (vf == var_id) {
+    r = ite_rec(g, nodes_[f].high, nodes_[f].low);
+  } else {
+    const NodeIndex lo = compose_rec(nodes_[f].low, var_id, g);
+    const NodeIndex hi = compose_rec(nodes_[f].high, var_id, g);
+    // g's support may reach above vf, so rebuild with ITE on vf.
+    const NodeIndex vnode = make_node(vf, 0, 1);
+    r = ite_rec(vnode, hi, lo);
+  }
+  cache_insert(Op::kCompose, f, var_id, g, r);
+  return r;
+}
+
+NodeIndex BddManager::permute_rec(NodeIndex f, std::span<const int> perm,
+                                  std::uint32_t perm_tag) {
+  if (is_const(f)) return f;
+  NodeIndex cached;
+  if (cache_find(Op::kPermute, f, perm_tag, 0, cached)) return cached;
+  // Copy fields before recursing: make_node may reallocate nodes_.
+  const Node nf = nodes_[f];
+  const NodeIndex lo = permute_rec(nf.low, perm, perm_tag);
+  const NodeIndex hi = permute_rec(nf.high, perm, perm_tag);
+  const int nv = nf.var < perm.size() ? perm[nf.var] : static_cast<int>(nf.var);
+  if (nv < 0) {
+    throw std::invalid_argument(
+        "permute: support variable has no mapping (perm[v] < 0)");
+  }
+  if (static_cast<unsigned>(nv) >= num_vars_) num_vars_ = nv + 1;
+  // The renamed variable may land anywhere in the order, so rebuild with ITE.
+  const NodeIndex vnode = make_node(static_cast<unsigned>(nv), 0, 1);
+  const NodeIndex r = ite_rec(vnode, hi, lo);
+  cache_insert(Op::kPermute, f, perm_tag, 0, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Public operation wrappers
+// ---------------------------------------------------------------------------
+
+namespace {
+void check_same_manager(const BddManager* mgr, const Bdd& x) {
+  if (!x.valid() || x.manager() != mgr) {
+    throw std::invalid_argument("Bdd operand belongs to another manager");
+  }
+}
+}  // namespace
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  check_same_manager(this, h);
+  maybe_gc();
+  return Bdd(this, ite_rec(f.index(), g.index(), h.index()));
+}
+
+Bdd BddManager::apply_not(const Bdd& f) {
+  check_same_manager(this, f);
+  maybe_gc();
+  return Bdd(this, not_rec(f.index()));
+}
+
+Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return Bdd(this, and_rec(f.index(), g.index()));
+}
+
+Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return Bdd(this, or_rec(f.index(), g.index()));
+}
+
+Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return Bdd(this, xor_rec(f.index(), g.index()));
+}
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  check_same_manager(this, f);
+  check_same_manager(this, cube);
+  maybe_gc();
+  return Bdd(this, exists_rec(f.index(), cube.index()));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  check_same_manager(this, f);
+  check_same_manager(this, cube);
+  maybe_gc();
+  // forall x. f == !(exists x. !f)
+  return Bdd(this, not_rec(exists_rec(not_rec(f.index()), cube.index())));
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  check_same_manager(this, cube);
+  maybe_gc();
+  return Bdd(this, and_exists_rec(f.index(), g.index(), cube.index()));
+}
+
+Bdd BddManager::cofactor(const Bdd& f, unsigned var_id, bool value) {
+  check_same_manager(this, f);
+  maybe_gc();
+  return Bdd(this, cofactor_rec(f.index(), var_id, value));
+}
+
+Bdd BddManager::constrain(const Bdd& f, const Bdd& c) {
+  check_same_manager(this, f);
+  check_same_manager(this, c);
+  if (c.is_zero()) {
+    throw std::invalid_argument("constrain: care set must be non-empty");
+  }
+  maybe_gc();
+  return Bdd(this, constrain_rec(f.index(), c.index()));
+}
+
+Bdd BddManager::compose(const Bdd& f, unsigned var_id, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return Bdd(this, compose_rec(f.index(), var_id, g.index()));
+}
+
+Bdd BddManager::permute(const Bdd& f, std::span<const int> perm) {
+  check_same_manager(this, f);
+  maybe_gc();
+  // Exact-match registry of permutations, so repeated applications of the
+  // same renaming (e.g. next-state -> present-state in every image step)
+  // share cache entries without any risk of hash collisions.
+  static thread_local std::map<std::vector<int>, std::uint32_t> registry;
+  const std::vector<int> key(perm.begin(), perm.end());
+  auto [it, inserted] = registry.try_emplace(key, perm_counter_);
+  if (inserted) ++perm_counter_;
+  return Bdd(this, permute_rec(f.index(), perm, it->second));
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+std::vector<unsigned> BddManager::support(const Bdd& f) {
+  check_same_manager(this, f);
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<NodeIndex> stack{f.index()};
+  std::unordered_map<NodeIndex, bool> visited;
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (is_const(n) || visited[n]) continue;
+    visited[n] = true;
+    in_support[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (in_support[v]) result.push_back(v);
+  }
+  return result;
+}
+
+double BddManager::sat_count(const Bdd& f, unsigned num_vars) {
+  check_same_manager(this, f);
+  // density(n) = fraction of the full space satisfying n.
+  std::unordered_map<NodeIndex, double> memo;
+  auto density = [this, &memo](auto&& self, NodeIndex n) -> double {
+    if (n == 0) return 0.0;
+    if (n == 1) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const Node& nd = nodes_[n];
+    const double d = 0.5 * self(self, nd.low) + 0.5 * self(self, nd.high);
+    memo.emplace(n, d);
+    return d;
+  };
+  return density(density, f.index()) * std::exp2(static_cast<double>(num_vars));
+}
+
+std::optional<std::vector<bool>> BddManager::pick_minterm(
+    const Bdd& f, std::span<const unsigned> vars) {
+  check_same_manager(this, f);
+  if (f.index() == 0) return std::nullopt;
+  std::vector<bool> values(vars.size(), false);
+  // Walk a satisfying path, preferring low branches.
+  std::unordered_map<unsigned, bool> path;  // var -> value along the path
+  NodeIndex n = f.index();
+  while (!is_const(n)) {
+    const Node& nd = nodes_[n];
+    if (nd.low != 0) {
+      path[nd.var] = false;
+      n = nd.low;
+    } else {
+      path[nd.var] = true;
+      n = nd.high;
+    }
+  }
+  assert(n == 1);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    auto it = path.find(vars[i]);
+    values[i] = it != path.end() && it->second;
+  }
+  return values;
+}
+
+bool BddManager::for_each_minterm(
+    const Bdd& f, std::span<const unsigned> vars,
+    const std::function<bool(const std::vector<bool>&)>& fn) {
+  check_same_manager(this, f);
+  std::vector<bool> values(vars.size(), false);
+  // Recursive enumeration: split on each listed variable in order.
+  auto rec = [this, &vars, &values, &fn](auto&& self, NodeIndex n,
+                                         std::size_t pos) -> bool {
+    if (n == 0) return true;
+    if (pos == vars.size()) {
+      // All listed variables assigned; n must not depend on them anymore.
+      return n == 0 ? true : fn(values);
+    }
+    const unsigned v = vars[pos];
+    for (const bool b : {false, true}) {
+      values[pos] = b;
+      if (!self(self, cofactor_rec(n, v, b), pos + 1)) return false;
+    }
+    return true;
+  };
+  return rec(rec, f.index(), 0);
+}
+
+bool BddManager::eval(const Bdd& f,
+                      const std::vector<bool>& values_by_var) const {
+  NodeIndex n = f.index();
+  while (!is_const(n)) {
+    const Node& nd = nodes_[n];
+    const bool v = nd.var < values_by_var.size() && values_by_var[nd.var];
+    n = v ? nd.high : nd.low;
+  }
+  return n == 1;
+}
+
+bool BddManager::intersects(const Bdd& f, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return and_rec(f.index(), g.index()) != 0;
+}
+
+bool BddManager::leq(const Bdd& f, const Bdd& g) {
+  check_same_manager(this, f);
+  check_same_manager(this, g);
+  maybe_gc();
+  return and_rec(f.index(), not_rec(g.index())) == 0;
+}
+
+std::size_t BddManager::node_count(const Bdd& f) const {
+  std::unordered_map<NodeIndex, bool> visited;
+  std::vector<NodeIndex> stack{f.index()};
+  std::size_t count = 0;
+  bool seen_const[2] = {false, false};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (is_const(n)) {
+      if (!seen_const[n]) {
+        seen_const[n] = true;
+        ++count;
+      }
+      continue;
+    }
+    if (visited[n]) continue;
+    visited[n] = true;
+    ++count;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return count;
+}
+
+std::string BddManager::to_dot(
+    const Bdd& f, const std::function<std::string(unsigned)>& var_name) const {
+  std::ostringstream os;
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  n0 [label=\"0\", shape=box];\n";
+  os << "  n1 [label=\"1\", shape=box];\n";
+  std::unordered_map<NodeIndex, bool> visited;
+  std::vector<NodeIndex> stack{f.index()};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (is_const(n) || visited[n]) continue;
+    visited[n] = true;
+    const Node& nd = nodes_[n];
+    const std::string label =
+        var_name ? var_name(nd.var) : "x" + std::to_string(nd.var);
+    os << "  n" << n << " [label=\"" << label << "\", shape=circle];\n";
+    os << "  n" << n << " -> n" << nd.low << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << nd.high << " [style=solid];\n";
+    stack.push_back(nd.low);
+    stack.push_back(nd.high);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace simcov::bdd

@@ -1,0 +1,206 @@
+#include "core/campaign.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "distinguish/distinguish.hpp"
+#include "distinguish/wmethod.hpp"
+#include "errmodel/errmodel.hpp"
+#include "sym/symbolic_fsm.hpp"
+#include "tour/tour.hpp"
+#include "validate/concretize.hpp"
+#include "validate/harness.hpp"
+
+namespace simcov::core {
+
+const char* method_name(TestMethod method) {
+  switch (method) {
+    case TestMethod::kTransitionTourSet: return "transition-tour";
+    case TestMethod::kStateTour: return "state-tour";
+    case TestMethod::kRandomWalk: return "random-walk";
+    case TestMethod::kWMethod: return "w-method";
+  }
+  return "?";
+}
+
+std::size_t CampaignResult::bugs_exposed() const {
+  std::size_t n = 0;
+  for (const auto& e : exposures) {
+    if (e.exposed) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Generates the test set for a method over an explicit machine.
+tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
+                                fsm::StateId start, TestMethod method,
+                                std::size_t random_length,
+                                std::uint64_t seed) {
+  tour::TourSet set;
+  set.start = start;
+  switch (method) {
+    case TestMethod::kTransitionTourSet: {
+      auto t = tour::greedy_transition_tour_set(machine, start);
+      if (!t.has_value()) {
+        throw std::runtime_error("transition tour set generation failed");
+      }
+      return *t;
+    }
+    case TestMethod::kStateTour: {
+      auto t = tour::state_tour(machine, start);
+      if (!t.has_value()) {
+        throw std::runtime_error("state tour generation failed");
+      }
+      set.sequences.push_back(std::move(t->inputs));
+      return set;
+    }
+    case TestMethod::kRandomWalk: {
+      set.sequences.push_back(
+          tour::random_walk(machine, start, random_length, seed).inputs);
+      return set;
+    }
+    case TestMethod::kWMethod: {
+      // The W-method requires a minimal machine; minimize first. Suite
+      // sequences remain valid on the original machine (behavioural
+      // equivalence from reset includes definedness).
+      const auto minimized = distinguish::minimize(machine, start);
+      auto suite = distinguish::wmethod_test_suite(
+          minimized.machine, minimized.machine.initial_state());
+      if (!suite.has_value()) {
+        throw std::runtime_error("W-method suite generation failed");
+      }
+      suite->start = start;
+      return *suite;
+    }
+  }
+  throw std::logic_error("unknown test method");
+}
+
+/// Extends a sequence by `extra` valid steps (smallest defined input each
+/// step), providing the exposure window of Theorem 1.
+void extend_sequence(const fsm::MealyMachine& machine, fsm::StateId start,
+                     std::vector<fsm::InputId>& seq, unsigned extra) {
+  fsm::StateId at = machine.run_to_state(seq, start);
+  for (unsigned k = 0; k < extra; ++k) {
+    bool stepped = false;
+    for (fsm::InputId i = 0; i < machine.num_inputs(); ++i) {
+      const auto t = machine.transition(at, i);
+      if (t.has_value()) {
+        seq.push_back(i);
+        at = t->next;
+        stepped = true;
+        break;
+      }
+    }
+    if (!stepped) return;  // dead end: nothing to extend with
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options,
+                            std::span<const dlx::PipelineBug> bugs) {
+  CampaignResult result;
+  const auto model =
+      testmodel::build_dlx_control_model(options.model_options);
+  result.latches = model.num_latches;
+  result.primary_inputs = model.num_inputs;
+
+  const auto explicit_model =
+      sym::extract_explicit(model.circuit, options.max_states);
+  result.model_truncated = explicit_model.truncated;
+  result.model_states = explicit_model.machine.num_states();
+  result.model_transitions =
+      explicit_model.machine.num_defined_transitions();
+
+  const tour::TourSet set =
+      generate_test_set(explicit_model.machine, 0, options.method,
+                        options.random_length, options.seed);
+  result.sequences = set.sequences.size();
+  result.test_length = set.total_length();
+  const auto coverage =
+      tour::evaluate_coverage_set(explicit_model.machine, set);
+  result.state_coverage = coverage.state_coverage();
+  result.transition_coverage = coverage.transition_coverage();
+
+  // Concretize every sequence.
+  std::vector<validate::ConcretizedProgram> programs;
+  programs.reserve(set.sequences.size());
+  for (const auto& seq : set.sequences) {
+    std::vector<testmodel::ControlInput> steps;
+    steps.reserve(seq.size());
+    for (fsm::InputId sym_id : seq) {
+      steps.push_back(validate::decode_control_input(
+          model, explicit_model.input_bits[sym_id]));
+    }
+    programs.push_back(validate::concretize_tour(model, steps));
+    result.total_instructions += programs.back().instructions.size();
+  }
+
+  // Clean run: the bug-free implementation must pass everything.
+  result.clean_pass = true;
+  for (const auto& prog : programs) {
+    if (!validate::run_validation(prog).passed) {
+      result.clean_pass = false;
+      break;
+    }
+  }
+
+  // Per-bug exposure.
+  for (const dlx::PipelineBug bug : bugs) {
+    BugExposure exposure{bug, false};
+    dlx::PipelineConfig config{{bug}};
+    for (const auto& prog : programs) {
+      if (!validate::run_validation(prog, config).passed) {
+        exposure.exposed = true;
+        break;
+      }
+    }
+    result.exposures.push_back(exposure);
+  }
+  return result;
+}
+
+MutantCoverageResult evaluate_mutant_coverage(
+    const fsm::MealyMachine& machine, fsm::StateId start,
+    const MutantCoverageOptions& options) {
+  MutantCoverageResult result;
+  tour::TourSet set = generate_test_set(machine, start, options.method,
+                                        options.random_length, options.seed);
+  if (options.k_extension > 0) {
+    for (auto& seq : set.sequences) {
+      extend_sequence(machine, start, seq, options.k_extension);
+    }
+  }
+  result.sequences = set.sequences.size();
+  result.test_length = set.total_length();
+
+  const auto mutants = errmodel::sample_mutations(
+      machine, start, machine.output_alphabet_size(), options.mutant_sample,
+      options.seed ^ 0x9e3779b9u);
+  for (const auto& mut : mutants) {
+    bool exposed = false;
+    for (const auto& seq : set.sequences) {
+      if (errmodel::exposes(machine, mut, start, seq)) {
+        exposed = true;
+        break;
+      }
+    }
+    if (!exposed && options.exclude_equivalent) {
+      // An unexposed mutant may simply be no error at all: check full
+      // behavioural equivalence before counting it against the method.
+      const auto mutant = errmodel::apply_mutation(machine, mut);
+      if (fsm::check_equivalence(machine, start, mutant, start).equivalent) {
+        ++result.equivalent;
+        continue;
+      }
+    }
+    ++result.mutants;
+    if (exposed) ++result.exposed;
+  }
+  return result;
+}
+
+}  // namespace simcov::core

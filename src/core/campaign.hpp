@@ -1,0 +1,109 @@
+// End-to-end validation campaigns — the complete Figure 1 flow, and the
+// abstract (machine-level) completeness experiments behind Theorem 3.
+//
+// A campaign: build the control test model -> extract its reachable state
+// space -> generate a test set with a chosen coverage method (transition
+// tour set / state tour / random walk) -> concretize each sequence into a
+// DLX program -> simulate spec vs implementation and compare checkpoints.
+// Run once per injected implementation bug to measure error exposure.
+//
+// The mutant-coverage evaluator performs the same comparison purely at the
+// test-model level with the paper's error model (output/transfer mutations),
+// which is what Theorem 3 actually speaks about.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dlx/pipeline.hpp"
+#include "fsm/mealy.hpp"
+#include "testmodel/testmodel.hpp"
+
+namespace simcov::core {
+
+enum class TestMethod : std::uint8_t {
+  kTransitionTourSet,  ///< every transition covered (the paper's method)
+  kStateTour,          ///< every state covered [Iwashita+94-style]
+  kRandomWalk,         ///< plain random simulation baseline
+  kWMethod,            ///< P·W conformance suite [Chow/Dahbura+90 lineage]
+};
+
+[[nodiscard]] const char* method_name(TestMethod method);
+
+struct CampaignOptions {
+  testmodel::TestModelOptions model_options;
+  TestMethod method = TestMethod::kTransitionTourSet;
+  std::size_t max_states = 100000;
+  /// Length of the random-walk baseline.
+  std::size_t random_length = 2000;
+  std::uint64_t seed = 1;
+};
+
+struct BugExposure {
+  dlx::PipelineBug bug;
+  bool exposed = false;
+};
+
+struct CampaignResult {
+  unsigned latches = 0;
+  unsigned primary_inputs = 0;
+  std::size_t model_states = 0;
+  std::size_t model_transitions = 0;
+  bool model_truncated = false;
+  std::size_t sequences = 0;
+  std::size_t test_length = 0;  ///< total tour steps
+  double state_coverage = 0.0;
+  double transition_coverage = 0.0;
+  std::size_t total_instructions = 0;
+  /// The correct implementation passes every program of the test set.
+  bool clean_pass = false;
+  std::vector<BugExposure> exposures;
+
+  [[nodiscard]] std::size_t bugs_exposed() const;
+};
+
+/// Runs a full campaign against each bug in `bugs` (plus a clean run).
+CampaignResult run_campaign(const CampaignOptions& options,
+                            std::span<const dlx::PipelineBug> bugs);
+
+// ---------------------------------------------------------------------------
+// Abstract completeness experiments (machine-level, Theorem 3)
+// ---------------------------------------------------------------------------
+
+struct MutantCoverageOptions {
+  TestMethod method = TestMethod::kTransitionTourSet;
+  std::size_t random_length = 500;
+  std::uint64_t seed = 1;
+  /// Extra steps appended to every sequence so the final transitions also
+  /// get their k-step exposure window (Theorem 1's simulation horizon).
+  unsigned k_extension = 0;
+  std::size_t mutant_sample = 200;
+  /// Detect mutants that are behaviourally equivalent to the specification
+  /// (no test can expose them) and report them separately instead of
+  /// counting them against the method.
+  bool exclude_equivalent = false;
+};
+
+struct MutantCoverageResult {
+  std::size_t mutants = 0;   ///< sampled mutants that are real errors
+  std::size_t exposed = 0;
+  std::size_t equivalent = 0;  ///< sampled mutants with identical behaviour
+  std::size_t sequences = 0;
+  std::size_t test_length = 0;
+
+  [[nodiscard]] double exposure_rate() const {
+    return mutants == 0 ? 1.0
+                        : static_cast<double>(exposed) /
+                              static_cast<double>(mutants);
+  }
+};
+
+/// Samples output+transfer mutants of `machine` and measures how many the
+/// chosen test method exposes. Throws std::runtime_error when the method
+/// cannot generate a test set for the machine.
+MutantCoverageResult evaluate_mutant_coverage(
+    const fsm::MealyMachine& machine, fsm::StateId start,
+    const MutantCoverageOptions& options);
+
+}  // namespace simcov::core

@@ -1,0 +1,94 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace simcov::core {
+
+const char* bug_name(dlx::PipelineBug bug) {
+  using dlx::PipelineBug;
+  switch (bug) {
+    case PipelineBug::kNoForwardExMemA: return "no EX/MEM bypass (A)";
+    case PipelineBug::kNoForwardExMemB: return "no EX/MEM bypass (B)";
+    case PipelineBug::kNoForwardMemWbA: return "no MEM/WB bypass (A)";
+    case PipelineBug::kNoForwardMemWbB: return "no MEM/WB bypass (B)";
+    case PipelineBug::kNoIdBypass: return "no WB->ID bypass";
+    case PipelineBug::kNoLoadUseStall: return "missing load-use interlock";
+    case PipelineBug::kInterlockChecksRs1Only:
+      return "interlock checks rs1 only";
+    case PipelineBug::kNoSquashOnTakenBranch:
+      return "no squash on taken branch";
+    case PipelineBug::kSquashOnlyFetch: return "squash only in fetch";
+    case PipelineBug::kJalLinksR30: return "JAL links r30";
+    case PipelineBug::kBranchTargetOffByFour: return "branch target off by 4";
+    case PipelineBug::kWritebackSelectsAluForLoad:
+      return "WB selects address for load";
+    case PipelineBug::kStoreDataStale: return "store data not bypassed";
+    case PipelineBug::kBranchUsesStaleCondition:
+      return "stale branch condition";
+    case PipelineBug::kForwardPriorityWrong:
+      return "bypass priority inverted";
+    case PipelineBug::kInterlockMissesDoubleHazard:
+      return "interlock misses double hazard";
+    case PipelineBug::kForwardFromR0: return "bypass matches r0 producers";
+  }
+  return "?";
+}
+
+std::string format_report(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "validation campaign\n";
+  os << "  test model: " << result.latches << " latches, "
+     << result.primary_inputs << " primary inputs\n";
+  os << "  state space: " << result.model_states << " states, "
+     << result.model_transitions << " transitions"
+     << (result.model_truncated ? " (TRUNCATED)" : "") << "\n";
+  os << "  test set: " << result.sequences << " sequences, "
+     << result.test_length << " steps, " << result.total_instructions
+     << " instructions\n";
+  os << "  coverage: " << 100.0 * result.state_coverage << "% states, "
+     << 100.0 * result.transition_coverage << "% transitions\n";
+  os << "  clean implementation: "
+     << (result.clean_pass ? "PASS" : "FAIL") << "\n";
+  os << "  bugs exposed: " << result.bugs_exposed() << "/"
+     << result.exposures.size() << "\n";
+  for (const auto& e : result.exposures) {
+    os << "    " << (e.exposed ? "EXPOSED " : "missed  ") << bug_name(e.bug)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string format_report(const RequirementsReport& report) {
+  std::ostringstream os;
+  os << "requirements assessment\n";
+  os << "  Def. 5 forall-k: ";
+  if (report.forall_k.has_value()) {
+    os << "all reachable pairs are forall-" << *report.forall_k
+       << "-distinguishable\n";
+  } else {
+    os << "NOT satisfied for any checked k (Theorem 1 hypothesis fails)\n";
+  }
+  os << "  Req. 1 (uniform output errors): "
+     << (report.r1_deterministic_outputs ? "holds (deterministic model)"
+                                         : "VIOLATED")
+     << "\n";
+  os << "  Req. 4 (no masking), sampled masked fraction: "
+     << 100.0 * report.r4_masked_fraction << "%\n";
+  os << "  Req. 5 (interaction state observable): "
+     << (report.r5_interaction_state_observable ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+std::string format_line(TestMethod method, const MutantCoverageResult& r) {
+  std::ostringstream os;
+  os << method_name(method) << ": " << r.exposed << "/" << r.mutants;
+  os.precision(3);
+  os << " (" << 100.0 * r.exposure_rate() << "%) over " << r.sequences
+     << " sequences, " << r.test_length << " steps";
+  if (r.equivalent > 0) {
+    os << " [" << r.equivalent << " equivalent mutants excluded]";
+  }
+  return os.str();
+}
+
+}  // namespace simcov::core

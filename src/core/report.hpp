@@ -1,0 +1,25 @@
+// Textual reporting for campaign and requirement results — the same
+// summaries the bench binaries print, available to library users.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/requirements.hpp"
+
+namespace simcov::core {
+
+/// Multi-line human-readable campaign summary.
+std::string format_report(const CampaignResult& result);
+
+/// Multi-line requirements assessment summary.
+std::string format_report(const RequirementsReport& report);
+
+/// One line per mutant-coverage run, e.g.
+/// "transition-tour: 265/273 (97.1%) over 19 sequences, 40773 steps".
+std::string format_line(TestMethod method, const MutantCoverageResult& r);
+
+/// Short display name of a pipeline bug, e.g. "missing load-use interlock".
+const char* bug_name(dlx::PipelineBug bug);
+
+}  // namespace simcov::core

@@ -1,0 +1,253 @@
+#include "distinguish/distinguish.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace simcov::distinguish {
+
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::StateId;
+
+namespace {
+
+/// One refinement step of the Eq relation:
+///   Eq_j(s,t) holds iff some valid continuation of length j fails to
+///   distinguish s and t. Valid first inputs are those defined in at least
+///   one of the two states; those defined in exactly one distinguish by the
+///   observable definedness mismatch.
+PairTable eq_step(const MealyMachine& m, const PairTable& prev) {
+  const StateId n = m.num_states();
+  PairTable next(n);
+  for (StateId s = 0; s < n; ++s) next.set(s, s, true);
+  for (StateId s = 0; s < n; ++s) {
+    for (StateId t = s + 1; t < n; ++t) {
+      bool any_valid = false;
+      bool some_continuation_fails = false;
+      for (InputId i = 0; i < m.num_inputs(); ++i) {
+        const auto ts = m.transition(s, i);
+        const auto tt = m.transition(t, i);
+        if (!ts.has_value() && !tt.has_value()) continue;
+        any_valid = true;
+        if (ts.has_value() != tt.has_value()) continue;  // distinguishes
+        if (ts->output != tt->output) continue;          // distinguishes
+        if (prev.get(ts->next, tt->next)) {
+          some_continuation_fails = true;
+          break;
+        }
+      }
+      // No valid continuation at all: nothing can ever distinguish the pair,
+      // so conservatively mark it non-∀k-distinguishable.
+      next.set(s, t, some_continuation_fails || !any_valid);
+    }
+  }
+  return next;
+}
+
+PairTable eq_after_k(const MealyMachine& m, unsigned k) {
+  const StateId n = m.num_states();
+  PairTable eq(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (StateId t = 0; t < n; ++t) eq.set(s, t, true);  // Eq_0: all pairs
+  }
+  for (unsigned j = 0; j < k; ++j) eq = eq_step(m, eq);
+  return eq;
+}
+
+}  // namespace
+
+bool forall_k_distinguishable(const MealyMachine& m, StateId s1, StateId s2,
+                              unsigned k) {
+  if (s1 >= m.num_states() || s2 >= m.num_states()) {
+    throw std::out_of_range("forall_k_distinguishable: bad state id");
+  }
+  if (s1 == s2) return false;
+  return !eq_after_k(m, k).get(s1, s2);
+}
+
+PairTable forall_k_equal_table(const MealyMachine& m, unsigned k) {
+  return eq_after_k(m, k);
+}
+
+bool satisfies_forall_k(const MealyMachine& m, StateId start, unsigned k) {
+  const auto reachable = m.reachable_states(start);
+  const PairTable eq = eq_after_k(m, k);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (!reachable[s]) continue;
+    for (StateId t = s + 1; t < m.num_states(); ++t) {
+      if (!reachable[t]) continue;
+      if (eq.get(s, t)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<unsigned> min_forall_k(const MealyMachine& m, StateId start,
+                                     unsigned max_k) {
+  const auto reachable = m.reachable_states(start);
+  PairTable eq(m.num_states());
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    for (StateId t = 0; t < m.num_states(); ++t) eq.set(s, t, true);
+  }
+  auto all_distinct_pairs_distinguishable = [&](const PairTable& table) {
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      if (!reachable[s]) continue;
+      for (StateId t = s + 1; t < m.num_states(); ++t) {
+        if (reachable[t] && table.get(s, t)) return false;
+      }
+    }
+    return true;
+  };
+  for (unsigned k = 0; k <= max_k; ++k) {
+    if (k > 0) eq = eq_step(m, eq);
+    if (all_distinct_pairs_distinguishable(eq)) return k;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> equivalence_classes(const MealyMachine& m) {
+  const StateId n = m.num_states();
+  // Initial partition: identical one-step behaviour signature
+  // (definedness + output per input).
+  std::vector<std::uint32_t> cls(n, 0);
+  {
+    std::map<std::vector<std::int64_t>, std::uint32_t> sig_to_class;
+    for (StateId s = 0; s < n; ++s) {
+      std::vector<std::int64_t> sig;
+      sig.reserve(m.num_inputs());
+      for (InputId i = 0; i < m.num_inputs(); ++i) {
+        const auto t = m.transition(s, i);
+        sig.push_back(t.has_value() ? static_cast<std::int64_t>(t->output)
+                                    : -1);
+      }
+      const auto [it, inserted] = sig_to_class.try_emplace(
+          sig, static_cast<std::uint32_t>(sig_to_class.size()));
+      cls[s] = it->second;
+    }
+  }
+  // Refine until stable: signature = (own class, successor classes).
+  for (;;) {
+    std::map<std::vector<std::int64_t>, std::uint32_t> sig_to_class;
+    std::vector<std::uint32_t> next(n, 0);
+    for (StateId s = 0; s < n; ++s) {
+      std::vector<std::int64_t> sig{static_cast<std::int64_t>(cls[s])};
+      for (InputId i = 0; i < m.num_inputs(); ++i) {
+        const auto t = m.transition(s, i);
+        sig.push_back(t.has_value() ? static_cast<std::int64_t>(cls[t->next])
+                                    : -1);
+      }
+      const auto [it, inserted] = sig_to_class.try_emplace(
+          sig, static_cast<std::uint32_t>(sig_to_class.size()));
+      next[s] = it->second;
+    }
+    if (next == cls) return cls;
+    cls = std::move(next);
+  }
+}
+
+std::optional<std::vector<InputId>> distinguishing_sequence(
+    const MealyMachine& m, StateId s1, StateId s2) {
+  const auto r = fsm::check_equivalence(m, s1, m, s2);
+  if (r.equivalent) return std::nullopt;
+  return r.counterexample;
+}
+
+MinimizationResult minimize(const MealyMachine& m, StateId start) {
+  const auto reachable = m.reachable_states(start);
+  const auto cls = equivalence_classes(m);
+  MinimizationResult result;
+  result.state_map.assign(m.num_states(), MinimizationResult::kUnmapped);
+  // Dense renumbering of the classes that contain reachable states.
+  std::map<std::uint32_t, StateId> dense;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (!reachable[s]) continue;
+    const auto [it, inserted] =
+        dense.try_emplace(cls[s], static_cast<StateId>(dense.size()));
+    result.state_map[s] = it->second;
+  }
+  MealyMachine out(static_cast<StateId>(dense.size()), m.num_inputs());
+  out.set_initial_state(result.state_map[start]);
+  // One representative per class defines the transitions (equivalent states
+  // agree on definedness, outputs, and successor classes).
+  std::vector<bool> done(dense.size(), false);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (!reachable[s]) continue;
+    const StateId c = result.state_map[s];
+    if (done[c]) continue;
+    done[c] = true;
+    for (InputId i = 0; i < m.num_inputs(); ++i) {
+      const auto t = m.transition(s, i);
+      if (!t.has_value()) continue;
+      out.set_transition(c, i, result.state_map[t->next], t->output);
+    }
+  }
+  result.machine = std::move(out);
+  return result;
+}
+
+std::optional<std::vector<InputId>> find_uio(const MealyMachine& m, StateId s,
+                                             StateId start, unsigned max_len) {
+  if (s >= m.num_states()) throw std::out_of_range("find_uio: bad state id");
+  const auto reachable = m.reachable_states(start);
+  if (!reachable[s]) return std::nullopt;
+
+  // BFS node: (current state along s's trace, set of shadow states that have
+  // matched the output trace so far). A shadow colliding with s's current
+  // state can never be separated afterwards, so such branches are pruned.
+  struct Node {
+    StateId s_at;
+    std::vector<StateId> shadows;  // sorted, deduped
+  };
+  std::vector<StateId> initial;
+  for (StateId t = 0; t < m.num_states(); ++t) {
+    if (reachable[t] && t != s) initial.push_back(t);
+  }
+  if (initial.empty()) return std::vector<InputId>{};  // trivially unique
+
+  std::set<std::pair<StateId, std::vector<StateId>>> visited;
+  struct QEntry {
+    Node node;
+    std::vector<InputId> path;
+  };
+  std::deque<QEntry> queue;
+  queue.push_back({{s, initial}, {}});
+  visited.insert({s, initial});
+
+  while (!queue.empty()) {
+    QEntry cur = std::move(queue.front());
+    queue.pop_front();
+    if (cur.path.size() >= max_len) continue;
+    for (InputId i = 0; i < m.num_inputs(); ++i) {
+      const auto ts = m.transition(cur.node.s_at, i);
+      if (!ts.has_value()) continue;  // UIO must be applicable from s's trace
+      std::vector<StateId> next_shadows;
+      bool collision = false;
+      for (StateId t : cur.node.shadows) {
+        const auto tt = m.transition(t, i);
+        if (!tt.has_value() || tt->output != ts->output) continue;  // dropped
+        if (tt->next == ts->next) {
+          collision = true;  // inseparable from s hereafter
+          break;
+        }
+        next_shadows.push_back(tt->next);
+      }
+      if (collision) continue;
+      std::sort(next_shadows.begin(), next_shadows.end());
+      next_shadows.erase(
+          std::unique(next_shadows.begin(), next_shadows.end()),
+          next_shadows.end());
+      std::vector<InputId> path = cur.path;
+      path.push_back(i);
+      if (next_shadows.empty()) return path;  // all shadows separated
+      if (visited.insert({ts->next, next_shadows}).second) {
+        queue.push_back({{ts->next, std::move(next_shadows)}, std::move(path)});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace simcov::distinguish

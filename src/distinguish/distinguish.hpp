@@ -1,0 +1,104 @@
+// State distinguishability analyses.
+//
+// Definition 5 of the paper: state s1 is *∀k-distinguishable* from s2 when
+// ALL input sequences of length k distinguish them. This is much stronger
+// than the classical (∃) distinguishability of FSM theory: it is the
+// property that lets Theorem 1 promise that any k-step continuation of a
+// transition tour exposes a transfer error, regardless of which continuation
+// the tour happened to pick.
+//
+// Since a length-k+1 sequence extends a length-k one, ∀k-distinguishability
+// is monotone in k; `min_forall_k` computes the smallest sufficient k.
+//
+// Also provided: classical behavioural equivalence via partition refinement
+// (Moore), shortest ∃-distinguishing sequences (product BFS), and bounded
+// UIO-sequence search — the paper's Section 3 notes transition tours catch
+// all errors when a state-identifying input exists [Dahbura+90].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+
+namespace simcov::distinguish {
+
+/// Pairwise "some length-k sequence fails to distinguish" table.
+/// entry(s, t) == true means s and t are NOT ∀k-distinguishable.
+class PairTable {
+ public:
+  explicit PairTable(fsm::StateId n) : n_(n), bits_(std::size_t{n} * n, false) {}
+  [[nodiscard]] bool get(fsm::StateId s, fsm::StateId t) const {
+    return bits_[std::size_t{s} * n_ + t];
+  }
+  void set(fsm::StateId s, fsm::StateId t, bool v) {
+    bits_[std::size_t{s} * n_ + t] = v;
+    bits_[std::size_t{t} * n_ + s] = v;
+  }
+  [[nodiscard]] fsm::StateId size() const { return n_; }
+
+ private:
+  fsm::StateId n_;
+  std::vector<bool> bits_;
+};
+
+/// True when ALL valid input sequences of length exactly `k` produce
+/// different output traces from s1 and s2 (Definition 5).
+///
+/// Partial machines: an input defined in exactly one of the two current
+/// states distinguishes (the definedness mismatch is observable); an input
+/// defined in neither is not a valid continuation. A pair with no valid
+/// continuation at all cannot be distinguished by any further sequence and
+/// is treated as not ∀k-distinguishable for k >= 1.
+bool forall_k_distinguishable(const fsm::MealyMachine& m, fsm::StateId s1,
+                              fsm::StateId s2, unsigned k);
+
+/// The full pair table for a given k: entry(s,t) says the pair is NOT
+/// ∀k-distinguishable. Diagonal entries are always true (a state never
+/// distinguishes from itself).
+PairTable forall_k_equal_table(const fsm::MealyMachine& m, unsigned k);
+
+/// True when every pair of distinct reachable states is ∀k-distinguishable —
+/// the hypothesis of Theorem 1.
+bool satisfies_forall_k(const fsm::MealyMachine& m, fsm::StateId start,
+                        unsigned k);
+
+/// Smallest k <= max_k such that satisfies_forall_k(m, start, k); nullopt if
+/// none exists up to max_k. (Monotone in k, so the smallest k is canonical.)
+std::optional<unsigned> min_forall_k(const fsm::MealyMachine& m,
+                                     fsm::StateId start, unsigned max_k);
+
+/// Classical behavioural equivalence classes (Moore partition refinement).
+/// Returns class ids per state; states in the same class have identical
+/// output behaviour for every input sequence.
+std::vector<std::uint32_t> equivalence_classes(const fsm::MealyMachine& m);
+
+/// Shortest input sequence distinguishing s1 from s2 (∃ form), or nullopt if
+/// the states are behaviourally equivalent.
+std::optional<std::vector<fsm::InputId>> distinguishing_sequence(
+    const fsm::MealyMachine& m, fsm::StateId s1, fsm::StateId s2);
+
+/// Minimization: the reachable part of `m` quotiented by behavioural
+/// equivalence. The result is the canonical reduced machine; every pair of
+/// its distinct states is ∃-distinguishable.
+struct MinimizationResult {
+  fsm::MealyMachine machine;
+  /// state_map[s] = minimized state of original state s (meaningful for
+  /// reachable s; unreachable states map to kUnmapped).
+  std::vector<fsm::StateId> state_map;
+  static constexpr fsm::StateId kUnmapped = 0xffffffffu;
+};
+
+MinimizationResult minimize(const fsm::MealyMachine& m, fsm::StateId start);
+
+/// Bounded search for a UIO (Unique Input/Output) sequence for state s: an
+/// input sequence whose output trace from s differs from the trace from
+/// every other reachable state. Returns the shortest such sequence of
+/// length <= max_len, or nullopt.
+std::optional<std::vector<fsm::InputId>> find_uio(const fsm::MealyMachine& m,
+                                                  fsm::StateId s,
+                                                  fsm::StateId start,
+                                                  unsigned max_len);
+
+}  // namespace simcov::distinguish

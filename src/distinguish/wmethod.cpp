@@ -1,0 +1,124 @@
+#include "distinguish/wmethod.hpp"
+
+#include <deque>
+
+#include "distinguish/distinguish.hpp"
+
+namespace simcov::distinguish {
+
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::StateId;
+
+namespace {
+
+/// Do the output traces of `seq` from s and t differ (including an
+/// observable definedness mismatch)? Walks stop where the input is
+/// undefined in both machines.
+bool separates(const MealyMachine& m, const std::vector<InputId>& seq,
+               StateId s, StateId t) {
+  StateId a = s, b = t;
+  for (const InputId i : seq) {
+    const auto ta = m.transition(a, i);
+    const auto tb = m.transition(b, i);
+    if (ta.has_value() != tb.has_value()) return true;
+    if (!ta.has_value()) return false;
+    if (ta->output != tb->output) return true;
+    a = ta->next;
+    b = tb->next;
+  }
+  return false;
+}
+
+/// Shortest input sequence from `start` to every reachable state.
+std::vector<std::optional<std::vector<InputId>>> shortest_prefixes(
+    const MealyMachine& m, StateId start) {
+  std::vector<std::optional<std::vector<InputId>>> prefix(m.num_states());
+  prefix[start] = std::vector<InputId>{};
+  std::deque<StateId> queue{start};
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (InputId i = 0; i < m.num_inputs(); ++i) {
+      const auto t = m.transition(s, i);
+      if (!t.has_value() || prefix[t->next].has_value()) continue;
+      auto path = *prefix[s];
+      path.push_back(i);
+      prefix[t->next] = std::move(path);
+      queue.push_back(t->next);
+    }
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<InputId>>> characterizing_set(
+    const MealyMachine& m, StateId start) {
+  const auto reachable = m.reachable_states(start);
+  std::vector<std::vector<InputId>> w;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (!reachable[s]) continue;
+    for (StateId t = s + 1; t < m.num_states(); ++t) {
+      if (!reachable[t]) continue;
+      bool covered = false;
+      for (const auto& seq : w) {
+        if (separates(m, seq, s, t)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      auto seq = distinguishing_sequence(m, s, t);
+      if (!seq.has_value()) return std::nullopt;  // equivalent pair
+      w.push_back(std::move(*seq));
+    }
+  }
+  if (w.empty()) w.push_back({});  // single-state machine: empty experiment
+  return w;
+}
+
+std::vector<std::vector<InputId>> transition_cover(const MealyMachine& m,
+                                                   StateId start) {
+  const auto prefix = shortest_prefixes(m, start);
+  std::vector<std::vector<InputId>> cover;
+  cover.push_back({});  // the reset state itself
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (!prefix[s].has_value()) continue;
+    for (InputId i = 0; i < m.num_inputs(); ++i) {
+      if (!m.transition(s, i).has_value()) continue;
+      auto seq = *prefix[s];
+      seq.push_back(i);
+      cover.push_back(std::move(seq));
+    }
+  }
+  return cover;
+}
+
+std::optional<tour::TourSet> wmethod_test_suite(const MealyMachine& m,
+                                                StateId start) {
+  const auto w = characterizing_set(m, start);
+  if (!w.has_value()) return std::nullopt;
+  const auto cover = transition_cover(m, start);
+  tour::TourSet suite;
+  suite.start = start;
+  for (const auto& p : cover) {
+    for (const auto& experiment : *w) {
+      std::vector<InputId> seq = p;
+      // Truncate the experiment at the first undefined transition so every
+      // suite sequence is applicable (partial machines).
+      StateId at = start;
+      for (const InputId i : p) at = m.transition(at, i)->next;
+      for (const InputId i : experiment) {
+        const auto t = m.transition(at, i);
+        if (!t.has_value()) break;
+        seq.push_back(i);
+        at = t->next;
+      }
+      suite.sequences.push_back(std::move(seq));
+    }
+  }
+  return suite;
+}
+
+}  // namespace simcov::distinguish

@@ -1,0 +1,41 @@
+// Characterizing sets and W-method test suites.
+//
+// The classical alternative to transition tours in FSM-based testing
+// (Section 3's conformance-testing lineage): a *characterizing set* W is a
+// set of input sequences that separates every pair of distinct states; the
+// W-method test suite applies P · W, where P is a transition cover (every
+// transition reached from reset via a shortest prefix). Unlike a transition
+// tour, the W-method guarantees detection of both output and transfer
+// errors without the paper's Requirements — at the cost of a reset between
+// test sequences and a much larger test set. The library includes it as the
+// strongest classical baseline to compare tours against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+#include "tour/tour.hpp"
+
+namespace simcov::distinguish {
+
+/// A characterizing set for the reachable, pairwise-distinguishable part of
+/// the machine: for any two distinct reachable states some sequence in the
+/// set produces different output traces. Empty optional when two reachable
+/// states are behaviourally equivalent (no such set exists).
+std::optional<std::vector<std::vector<fsm::InputId>>> characterizing_set(
+    const fsm::MealyMachine& m, fsm::StateId start);
+
+/// A transition cover P: for every reachable transition (s, i), a sequence
+/// from `start` that ends by taking (s, i); plus the empty sequence (which
+/// "covers" the reset state itself).
+std::vector<std::vector<fsm::InputId>> transition_cover(
+    const fsm::MealyMachine& m, fsm::StateId start);
+
+/// The W-method test suite P · W (each cover prefix extended by each
+/// characterizing sequence), as a reset-separated test set.
+/// Empty optional when no characterizing set exists.
+std::optional<tour::TourSet> wmethod_test_suite(const fsm::MealyMachine& m,
+                                                fsm::StateId start);
+
+}  // namespace simcov::distinguish

@@ -1,0 +1,58 @@
+// Shared architectural types for the DLX models.
+//
+// Both the ISA-level golden model (spec side of Figure 1) and the pipelined
+// implementation emit a stream of RetireInfo records — one per completed
+// instruction. The validation harness compares these streams at each
+// checkpoint ("at the completion of each instruction", Section 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "dlx/isa.hpp"
+
+namespace simcov::dlx {
+
+/// Processor Status Word: condition flags updated by ALU-class instructions.
+/// The paper keeps the PSW in the test model because a later branch may
+/// consume it (the s2 "interaction state" of Section 5.1); here it is
+/// architecturally visible so Requirement 5 (observability) holds.
+struct Psw {
+  bool zero = false;
+  bool negative = false;
+
+  friend bool operator==(const Psw&, const Psw&) = default;
+};
+
+struct MemWrite {
+  std::uint32_t addr = 0;
+  std::uint32_t value = 0;
+  std::uint8_t size = 4;  ///< bytes: 1, 2 or 4
+
+  friend bool operator==(const MemWrite&, const MemWrite&) = default;
+};
+
+/// Checkpoint record emitted when an instruction completes.
+struct RetireInfo {
+  std::uint32_t pc = 0;
+  Instruction ins;
+  std::optional<std::pair<std::uint8_t, std::uint32_t>> reg_write;
+  std::optional<MemWrite> mem_write;
+  std::uint32_t next_pc = 0;
+  Psw psw;  ///< PSW after this instruction
+  bool halted = false;
+
+  friend bool operator==(const RetireInfo&, const RetireInfo&) = default;
+};
+
+/// Architectural register/PC state snapshot.
+struct ArchState {
+  std::uint32_t pc = 0;
+  std::array<std::uint32_t, kNumRegisters> regs{};
+  Psw psw;
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
+};
+
+}  // namespace simcov::dlx

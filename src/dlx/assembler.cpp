@@ -1,0 +1,322 @@
+#include "dlx/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace simcov::dlx {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Tokenized line: mnemonic + comma-separated operand strings.
+struct ParsedLine {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+ParsedLine tokenize(const std::string& text, std::size_t line_no) {
+  ParsedLine out;
+  const auto space = text.find_first_of(" \t");
+  out.mnemonic = to_lower(strip(text.substr(0, space)));
+  if (space == std::string::npos) return out;
+  std::string rest = strip(text.substr(space));
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    out.operands.push_back(strip(rest.substr(0, comma)));
+    if (comma == std::string::npos) break;
+    rest = strip(rest.substr(comma + 1));
+  }
+  for (const auto& op : out.operands) {
+    if (op.empty()) throw AssemblyError(line_no, "empty operand");
+  }
+  return out;
+}
+
+unsigned parse_register(const std::string& s, std::size_t line_no) {
+  if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R')) {
+    throw AssemblyError(line_no, "expected register, got '" + s + "'");
+  }
+  try {
+    const unsigned long r = std::stoul(s.substr(1));
+    if (r >= kNumRegisters) {
+      throw AssemblyError(line_no, "register out of range: " + s);
+    }
+    return static_cast<unsigned>(r);
+  } catch (const AssemblyError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw AssemblyError(line_no, "bad register: '" + s + "'");
+  }
+}
+
+std::optional<std::int64_t> try_parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  try {
+    const std::int64_t v = std::stoll(s, &pos, 0);  // base 0: dec/hex/oct
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::int32_t parse_imm(const std::string& s, std::size_t line_no,
+                       std::int64_t min, std::int64_t max) {
+  const auto v = try_parse_int(s);
+  if (!v.has_value()) {
+    throw AssemblyError(line_no, "expected immediate, got '" + s + "'");
+  }
+  if (*v < min || *v > max) {
+    throw AssemblyError(line_no, "immediate out of range: " + s);
+  }
+  return static_cast<std::int32_t>(*v);
+}
+
+/// Parses "offset(rN)" memory operands.
+std::pair<std::int32_t, unsigned> parse_mem_operand(const std::string& s,
+                                                    std::size_t line_no) {
+  const auto open = s.find('(');
+  const auto close = s.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open || close != s.size() - 1) {
+    throw AssemblyError(line_no, "expected offset(rN), got '" + s + "'");
+  }
+  const std::string offset_str = strip(s.substr(0, open));
+  const std::string reg_str = strip(s.substr(open + 1, close - open - 1));
+  const std::int32_t offset =
+      offset_str.empty() ? 0 : parse_imm(offset_str, line_no, -32768, 32767);
+  return {offset, parse_register(reg_str, line_no)};
+}
+
+struct MnemonicInfo {
+  Opcode op;
+  OpClass cls;
+};
+
+std::optional<MnemonicInfo> lookup_mnemonic(const std::string& m) {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int raw = 0; raw <= static_cast<int>(Opcode::kJalr); ++raw) {
+      const Opcode op = static_cast<Opcode>(raw);
+      t[opcode_name(op)] = op;
+    }
+    return t;
+  }();
+  const auto it = table.find(m);
+  if (it == table.end()) return std::nullopt;
+  return MnemonicInfo{it->second, op_class(it->second)};
+}
+
+/// A branch/jump operand pending label resolution.
+struct Fixup {
+  std::size_t word_index;
+  std::string label;
+  std::size_t line_no;
+  Opcode op;
+  unsigned rs1;  // for branches
+};
+
+}  // namespace
+
+std::vector<Instruction> AssembledProgram::instructions() const {
+  std::vector<Instruction> out;
+  out.reserve(words.size());
+  for (const std::uint32_t w : words) {
+    const auto ins = decode(w);
+    out.push_back(ins.value_or(make_nop()));
+  }
+  return out;
+}
+
+AssembledProgram assemble(const std::string& source) {
+  AssembledProgram prog;
+  std::vector<Fixup> fixups;
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    // Strip comments.
+    const auto comment = raw_line.find_first_of(";#");
+    std::string text =
+        strip(comment == std::string::npos ? raw_line
+                                           : raw_line.substr(0, comment));
+    // Labels (possibly several, possibly alone on the line).
+    for (auto colon = text.find(':'); colon != std::string::npos;
+         colon = text.find(':')) {
+      const std::string label = strip(text.substr(0, colon));
+      if (label.empty() ||
+          label.find_first_of(" \t") != std::string::npos) {
+        throw AssemblyError(line_no, "bad label '" + label + "'");
+      }
+      if (!prog.labels.emplace(label, 4 * prog.words.size()).second) {
+        throw AssemblyError(line_no, "duplicate label '" + label + "'");
+      }
+      text = strip(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    const ParsedLine line = tokenize(text, line_no);
+    const auto& ops = line.operands;
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AssemblyError(line_no, "expected " + std::to_string(n) +
+                                         " operands for '" + line.mnemonic +
+                                         "', got " +
+                                         std::to_string(ops.size()));
+      }
+    };
+
+    if (line.mnemonic == ".word") {
+      expect(1);
+      const auto v = try_parse_int(ops[0]);
+      if (!v.has_value()) {
+        throw AssemblyError(line_no, "bad .word value '" + ops[0] + "'");
+      }
+      prog.words.push_back(static_cast<std::uint32_t>(*v));
+      continue;
+    }
+
+    const auto info = lookup_mnemonic(line.mnemonic);
+    if (!info.has_value()) {
+      throw AssemblyError(line_no, "unknown mnemonic '" + line.mnemonic + "'");
+    }
+    const std::uint32_t here = 4 * static_cast<std::uint32_t>(
+                                       prog.words.size());
+    Instruction ins;
+    switch (info->cls) {
+      case OpClass::kNop:
+        expect(0);
+        ins = make_nop();
+        break;
+      case OpClass::kHalt:
+        expect(0);
+        ins = make_halt();
+        break;
+      case OpClass::kAlu: {
+        expect(3);
+        ins = make_rtype(info->op, parse_register(ops[0], line_no),
+                         parse_register(ops[1], line_no),
+                         parse_register(ops[2], line_no));
+        break;
+      }
+      case OpClass::kAluImm: {
+        if (info->op == Opcode::kLhi) {
+          expect(2);
+          ins = make_lhi(parse_register(ops[0], line_no),
+                         static_cast<std::uint16_t>(
+                             parse_imm(ops[1], line_no, 0, 0xffff)));
+        } else {
+          expect(3);
+          ins = make_itype(info->op, parse_register(ops[0], line_no),
+                           parse_register(ops[1], line_no),
+                           parse_imm(ops[2], line_no, -32768, 32767));
+        }
+        break;
+      }
+      case OpClass::kLoad: {
+        expect(2);
+        const auto [offset, base] = parse_mem_operand(ops[1], line_no);
+        ins = make_load(info->op, parse_register(ops[0], line_no), base,
+                        offset);
+        break;
+      }
+      case OpClass::kStore: {
+        expect(2);
+        const auto [offset, base] = parse_mem_operand(ops[0], line_no);
+        ins = make_store(info->op, base, parse_register(ops[1], line_no),
+                         offset);
+        break;
+      }
+      case OpClass::kBranch: {
+        expect(2);
+        const unsigned rs1 = parse_register(ops[0], line_no);
+        const auto imm = try_parse_int(ops[1]);
+        if (imm.has_value()) {
+          ins = make_branch(info->op, rs1,
+                            parse_imm(ops[1], line_no, -32768, 32767));
+        } else {
+          fixups.push_back({prog.words.size(), ops[1], line_no, info->op,
+                            rs1});
+          ins = make_branch(info->op, rs1, 0);  // patched in pass 2
+        }
+        break;
+      }
+      case OpClass::kJump:
+      case OpClass::kJumpLink: {
+        expect(1);
+        const auto imm = try_parse_int(ops[0]);
+        if (imm.has_value()) {
+          ins = make_jump(info->op, static_cast<std::int32_t>(*imm));
+        } else {
+          fixups.push_back({prog.words.size(), ops[0], line_no, info->op, 0});
+          ins = make_jump(info->op, 0);
+        }
+        break;
+      }
+      case OpClass::kJumpReg:
+      case OpClass::kJumpLinkReg:
+        expect(1);
+        ins = make_jump_reg(info->op, parse_register(ops[0], line_no));
+        break;
+    }
+    (void)here;
+    prog.words.push_back(encode(ins));
+  }
+
+  // Pass 2: resolve label fixups to PC-relative offsets (target - (pc + 4)).
+  for (const Fixup& fix : fixups) {
+    const auto it = prog.labels.find(fix.label);
+    if (it == prog.labels.end()) {
+      throw AssemblyError(fix.line_no, "undefined label '" + fix.label + "'");
+    }
+    const std::int64_t pc = 4 * static_cast<std::int64_t>(fix.word_index);
+    const std::int64_t offset = static_cast<std::int64_t>(it->second) -
+                                (pc + 4);
+    const OpClass cls = op_class(fix.op);
+    Instruction ins;
+    if (cls == OpClass::kBranch) {
+      if (offset < -32768 || offset > 32767) {
+        throw AssemblyError(fix.line_no, "branch target out of range");
+      }
+      ins = make_branch(fix.op, fix.rs1, static_cast<std::int32_t>(offset));
+    } else {
+      if (offset < -(1 << 25) || offset >= (1 << 25)) {
+        throw AssemblyError(fix.line_no, "jump target out of range");
+      }
+      ins = make_jump(fix.op, static_cast<std::int32_t>(offset));
+    }
+    prog.words[fix.word_index] = encode(ins);
+  }
+  return prog;
+}
+
+std::string disassemble_program(const std::vector<std::uint32_t>& words) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < words.size(); ++k) {
+    const auto ins = decode(words[k]);
+    os << 4 * k << ":\t"
+       << (ins.has_value() ? disassemble(*ins) : ".word " +
+                                                     std::to_string(words[k]))
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace simcov::dlx

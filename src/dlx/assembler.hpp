@@ -1,0 +1,60 @@
+// Two-pass text assembler for the DLX integer subset.
+//
+// Accepts the same mnemonic syntax `disassemble` emits, plus labels,
+// comments and a few directives, so test programs can be written as text:
+//
+//     ; compute r3 = r1 + r2, store it, and loop
+//     start:  addi r1, r0, 5
+//             addi r2, r0, 7
+//             add  r3, r1, r2
+//             sw   16(r0), r3
+//             beqz r0, start      ; branch offsets may also be labels
+//             halt
+//
+// Syntax:
+//   * one instruction per line; `;` or `#` start a comment
+//   * `label:` defines a label at the current address (may share a line
+//     with an instruction)
+//   * branch/jump targets may be numeric byte offsets or label names
+//     (labels are resolved to PC-relative offsets per DLX semantics)
+//   * `.word <value>` emits a raw 32-bit word
+//
+// Errors are reported with 1-based line numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dlx/isa.hpp"
+
+namespace simcov::dlx {
+
+/// Error with source line attribution.
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct AssembledProgram {
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> labels;  ///< label -> byte address
+
+  [[nodiscard]] std::vector<Instruction> instructions() const;
+};
+
+/// Assembles `source` (the full program text). Throws AssemblyError.
+AssembledProgram assemble(const std::string& source);
+
+/// Disassembles a program with addresses, one instruction per line.
+std::string disassemble_program(const std::vector<std::uint32_t>& words);
+
+}  // namespace simcov::dlx

@@ -1,0 +1,90 @@
+// DLX instruction set architecture (integer subset).
+//
+// The paper's case study is an RTL implementation of the DLX processor of
+// Hennessy & Patterson, "except the floating-point and exception-handling
+// instructions" (Section 7). This header defines that integer subset: the
+// decoded instruction form, the 32-bit encoding (6-bit primary opcode,
+// R-type function field, 16-bit immediates, 26-bit jump offset), and
+// encode/decode/disassemble utilities.
+//
+// Conventions:
+//  * 32 general-purpose registers; R0 reads as zero, writes are discarded.
+//  * JAL/JALR link into R31.
+//  * Branch/jump offsets are relative to the address of the *next*
+//    instruction (PC + 4), as in H&P.
+//  * Memory is little-endian in this implementation (documented deviation
+//    from the historically big-endian DLX; nothing in the methodology
+//    depends on byte order).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace simcov::dlx {
+
+inline constexpr unsigned kNumRegisters = 32;
+inline constexpr std::uint32_t kLinkRegister = 31;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,  // TRAP 0 in DLX terms: stops the machine
+  // R-type ALU
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra,
+  kSlt, kSltu, kSeq, kSne,
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kLhi,
+  // Memory
+  kLw, kLh, kLhu, kLb, kLbu, kSw, kSh, kSb,
+  // Control
+  kBeqz, kBnez, kJ, kJal, kJr, kJalr,
+};
+
+/// Coarse classification used by hazard logic and the test model.
+enum class OpClass : std::uint8_t {
+  kNop, kHalt, kAlu, kAluImm, kLoad, kStore, kBranch, kJump, kJumpLink,
+  kJumpReg, kJumpLinkReg,
+};
+
+[[nodiscard]] OpClass op_class(Opcode op);
+
+/// True for instructions that write a general-purpose register.
+[[nodiscard]] bool writes_register(Opcode op);
+/// True when the instruction reads rs1 / rs2.
+[[nodiscard]] bool reads_rs1(Opcode op);
+[[nodiscard]] bool reads_rs2(Opcode op);
+
+/// A decoded instruction. Fields not used by the opcode are zero.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;  ///< sign-extended; jump offset for J/JAL
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+// ---- Builders (programmatic assembler) ------------------------------------
+Instruction make_nop();
+Instruction make_halt();
+Instruction make_rtype(Opcode op, unsigned rd, unsigned rs1, unsigned rs2);
+Instruction make_itype(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm);
+Instruction make_load(Opcode op, unsigned rd, unsigned rs1, std::int32_t offset);
+Instruction make_store(Opcode op, unsigned rs1, unsigned rs2,
+                       std::int32_t offset);
+Instruction make_branch(Opcode op, unsigned rs1, std::int32_t offset);
+Instruction make_jump(Opcode op, std::int32_t offset);      // J / JAL
+Instruction make_jump_reg(Opcode op, unsigned rs1);         // JR / JALR
+Instruction make_lhi(unsigned rd, std::uint16_t imm);
+
+// ---- Encoding ---------------------------------------------------------------
+/// Encodes to the 32-bit DLX word.
+[[nodiscard]] std::uint32_t encode(const Instruction& ins);
+/// Decodes a 32-bit word; nullopt for invalid opcodes/function fields.
+[[nodiscard]] std::optional<Instruction> decode(std::uint32_t word);
+/// Human-readable mnemonic form, e.g. "add r3, r1, r2".
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+[[nodiscard]] const char* opcode_name(Opcode op);
+
+}  // namespace simcov::dlx

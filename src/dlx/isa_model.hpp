@@ -1,0 +1,59 @@
+// Architectural (ISA-level) DLX simulator — the "golden" specification model.
+//
+// This is the behaviour-level description of Figure 1: one instruction per
+// step, no timing. The validation harness runs it in lockstep with the
+// pipelined implementation and compares RetireInfo checkpoints.
+//
+// Memory arrangement is Harvard-style: instructions live in a read-only
+// word-array, data in a separate byte-addressable RAM (little-endian).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dlx/arch.hpp"
+#include "dlx/isa.hpp"
+
+namespace simcov::dlx {
+
+class IsaModel {
+ public:
+  /// @param program   instruction words; instruction i sits at address 4*i.
+  /// @param data_size data memory size in bytes (must be a multiple of 4).
+  explicit IsaModel(std::vector<std::uint32_t> program,
+                    std::size_t data_size = 1 << 16);
+
+  [[nodiscard]] const ArchState& state() const { return state_; }
+  [[nodiscard]] std::uint32_t reg(unsigned r) const { return state_.regs[r]; }
+  [[nodiscard]] std::uint32_t pc() const { return state_.pc; }
+  [[nodiscard]] const Psw& psw() const { return state_.psw; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Test setup: preset a register / data word.
+  void set_reg(unsigned r, std::uint32_t value);
+  void poke_word(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t peek_word(std::uint32_t addr) const;
+
+  /// Executes one instruction. Returns the checkpoint record, or nullopt if
+  /// the machine has halted or the PC ran past the program.
+  std::optional<RetireInfo> step();
+
+  /// Runs until halt or `max_steps`; returns all checkpoints.
+  std::vector<RetireInfo> run(std::size_t max_steps = 100000);
+
+ private:
+  [[nodiscard]] std::uint32_t load(std::uint32_t addr, unsigned size,
+                                   bool sign_extend) const;
+  void store(std::uint32_t addr, std::uint32_t value, unsigned size);
+
+  std::vector<std::uint32_t> program_;
+  std::vector<std::uint8_t> data_;
+  ArchState state_;
+  bool halted_ = false;
+};
+
+/// Pure ALU semantics shared by the ISA model and the pipeline EX stage.
+std::uint32_t alu_eval(Opcode op, std::uint32_t a, std::uint32_t b);
+
+}  // namespace simcov::dlx

@@ -1,0 +1,199 @@
+#include "errmodel/errmodel.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace simcov::errmodel {
+
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::OutputId;
+using fsm::StateId;
+
+fsm::MealyMachine apply_mutation(const MealyMachine& m, const Mutation& mut) {
+  const auto t = m.transition(mut.at.state, mut.at.input);
+  if (!t.has_value()) {
+    throw std::invalid_argument("apply_mutation: transition undefined");
+  }
+  MealyMachine mutant = m;
+  if (mut.kind == ErrorKind::kOutput) {
+    if (mut.new_output == t->output) {
+      throw std::invalid_argument("apply_mutation: vacuous output mutation");
+    }
+    mutant.set_transition(mut.at.state, mut.at.input, t->next, mut.new_output);
+  } else {
+    if (mut.new_next == t->next) {
+      throw std::invalid_argument("apply_mutation: vacuous transfer mutation");
+    }
+    mutant.set_transition(mut.at.state, mut.at.input, mut.new_next, t->output);
+  }
+  return mutant;
+}
+
+std::vector<Mutation> enumerate_output_errors(const MealyMachine& m,
+                                              StateId start,
+                                              OutputId output_alphabet) {
+  std::vector<Mutation> result;
+  for (const auto& ref : m.reachable_transitions(start)) {
+    const auto t = m.transition(ref.state, ref.input).value();
+    for (OutputId o = 0; o < output_alphabet; ++o) {
+      if (o == t.output) continue;
+      result.push_back(Mutation{ErrorKind::kOutput, ref, 0, o});
+    }
+  }
+  return result;
+}
+
+std::vector<Mutation> enumerate_transfer_errors(const MealyMachine& m,
+                                                StateId start) {
+  std::vector<Mutation> result;
+  const auto reachable = m.reachable_states(start);
+  for (const auto& ref : m.reachable_transitions(start)) {
+    const auto t = m.transition(ref.state, ref.input).value();
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      if (s == t.next || !reachable[s]) continue;
+      result.push_back(Mutation{ErrorKind::kTransfer, ref, s, 0});
+    }
+  }
+  return result;
+}
+
+std::vector<Mutation> sample_mutations(const MealyMachine& m, StateId start,
+                                       OutputId output_alphabet,
+                                       std::size_t count, std::uint64_t seed) {
+  std::vector<Mutation> pool = enumerate_output_errors(m, start, output_alphabet);
+  const auto transfers = enumerate_transfer_errors(m, start);
+  pool.insert(pool.end(), transfers.begin(), transfers.end());
+  std::mt19937_64 rng(seed);
+  std::shuffle(pool.begin(), pool.end(), rng);
+  if (pool.size() > count) pool.resize(count);
+  return pool;
+}
+
+bool exposes(const MealyMachine& spec, const MealyMachine& mutant,
+             StateId start, std::span<const InputId> inputs) {
+  StateId at_spec = start;
+  StateId at_mut = start;
+  for (InputId i : inputs) {
+    const auto ts = spec.transition(at_spec, i);
+    const auto tm = mutant.transition(at_mut, i);
+    if (ts.has_value() != tm.has_value()) return true;  // definedness mismatch
+    if (!ts.has_value()) return false;  // sequence invalid for both: truncate
+    if (ts->output != tm->output) return true;
+    at_spec = ts->next;
+    at_mut = tm->next;
+  }
+  return false;
+}
+
+bool exposes(const MealyMachine& spec, const Mutation& mut, StateId start,
+             std::span<const InputId> inputs) {
+  const auto original = spec.transition(mut.at.state, mut.at.input);
+  if (!original.has_value()) {
+    throw std::invalid_argument("exposes: mutated transition undefined");
+  }
+  fsm::Transition mutated = *original;
+  if (mut.kind == ErrorKind::kOutput) {
+    mutated.output = mut.new_output;
+  } else {
+    mutated.next = mut.new_next;
+  }
+  StateId at_spec = start;
+  StateId at_mut = start;
+  for (InputId i : inputs) {
+    const auto ts = spec.transition(at_spec, i);
+    auto tm = spec.transition(at_mut, i);
+    if (tm.has_value() && at_mut == mut.at.state && i == mut.at.input) {
+      tm = mutated;
+    }
+    if (ts.has_value() != tm.has_value()) return true;
+    if (!ts.has_value()) return false;
+    if (ts->output != tm->output) return true;
+    at_spec = ts->next;
+    at_mut = tm->next;
+  }
+  return false;
+}
+
+bool excites(const MealyMachine& mutant, const Mutation& mut, StateId start,
+             std::span<const InputId> inputs) {
+  StateId at = start;
+  for (InputId i : inputs) {
+    if (at == mut.at.state && i == mut.at.input) return true;
+    const auto t = mutant.transition(at, i);
+    if (!t.has_value()) return false;
+    at = t->next;
+  }
+  return false;
+}
+
+TestSetReport evaluate_test_set(const MealyMachine& spec,
+                                std::span<const Mutation> mutations,
+                                StateId start,
+                                std::span<const InputId> inputs) {
+  TestSetReport report;
+  report.total_mutants = mutations.size();
+  report.exposed_flags.resize(mutations.size(), false);
+  for (std::size_t k = 0; k < mutations.size(); ++k) {
+    const MealyMachine mutant = apply_mutation(spec, mutations[k]);
+    if (excites(mutant, mutations[k], start, inputs)) ++report.excited;
+    if (exposes(spec, mutant, start, inputs)) {
+      report.exposed_flags[k] = true;
+      ++report.exposed;
+    }
+  }
+  return report;
+}
+
+TestSetReport evaluate_test_set(
+    const MealyMachine& spec, std::span<const Mutation> mutations,
+    StateId start, const std::vector<std::vector<InputId>>& sequences) {
+  TestSetReport report;
+  report.total_mutants = mutations.size();
+  report.exposed_flags.resize(mutations.size(), false);
+  for (std::size_t k = 0; k < mutations.size(); ++k) {
+    const MealyMachine mutant = apply_mutation(spec, mutations[k]);
+    bool excited = false;
+    bool exposed = false;
+    for (const auto& seq : sequences) {
+      excited = excited || excites(mutant, mutations[k], start, seq);
+      exposed = exposed || exposes(spec, mutant, start, seq);
+      if (excited && exposed) break;
+    }
+    if (excited) ++report.excited;
+    if (exposed) {
+      report.exposed_flags[k] = true;
+      ++report.exposed;
+    }
+  }
+  return report;
+}
+
+MaskingAnalysis analyze_masking(const MealyMachine& spec,
+                                const MealyMachine& mutant, StateId start,
+                                std::span<const InputId> inputs) {
+  MaskingAnalysis result;
+  StateId at_spec = start;
+  StateId at_mut = start;
+  std::size_t step = 0;
+  for (InputId i : inputs) {
+    const auto ts = spec.transition(at_spec, i);
+    const auto tm = mutant.transition(at_mut, i);
+    if (!ts.has_value() || !tm.has_value()) break;
+    if (ts->output != tm->output) result.output_differed = true;
+    at_spec = ts->next;
+    at_mut = tm->next;
+    ++step;
+    if (at_spec != at_mut && !result.diverged) {
+      result.diverged = true;
+      result.diverge_step = step;
+    } else if (at_spec == at_mut && result.diverged && !result.reconverged) {
+      result.reconverged = true;
+      result.reconverge_step = step;
+    }
+  }
+  return result;
+}
+
+}  // namespace simcov::errmodel

@@ -1,0 +1,87 @@
+#include "fsm/nondet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simcov::fsm {
+
+NondetMealyMachine::NondetMealyMachine(StateId num_states, InputId num_inputs)
+    : num_states_(num_states),
+      num_inputs_(num_inputs),
+      table_(static_cast<std::size_t>(num_states) * num_inputs) {}
+
+void NondetMealyMachine::check_ids(StateId s, InputId i) const {
+  if (s >= num_states_) {
+    throw std::out_of_range("NondetMealyMachine: bad state id");
+  }
+  if (i >= num_inputs_) {
+    throw std::out_of_range("NondetMealyMachine: bad input id");
+  }
+}
+
+void NondetMealyMachine::set_initial_state(StateId s) {
+  if (s >= num_states_) {
+    throw std::out_of_range("NondetMealyMachine: bad state id");
+  }
+  initial_ = s;
+}
+
+void NondetMealyMachine::add_transition(StateId s, InputId i, StateId next,
+                                        OutputId output) {
+  check_ids(s, i);
+  if (next >= num_states_) {
+    throw std::out_of_range("NondetMealyMachine: bad next-state id");
+  }
+  auto& edges = table_[idx(s, i)];
+  const Transition t{next, output};
+  if (std::find(edges.begin(), edges.end(), t) == edges.end()) {
+    edges.push_back(t);
+  }
+}
+
+std::span<const Transition> NondetMealyMachine::transitions(StateId s,
+                                                            InputId i) const {
+  check_ids(s, i);
+  return table_[idx(s, i)];
+}
+
+bool NondetMealyMachine::is_deterministic() const {
+  return std::all_of(table_.begin(), table_.end(),
+                     [](const auto& edges) { return edges.size() <= 1; });
+}
+
+bool NondetMealyMachine::has_output_nondeterminism() const {
+  return !output_nondeterministic_pairs().empty();
+}
+
+std::vector<TransitionRef> NondetMealyMachine::output_nondeterministic_pairs()
+    const {
+  std::vector<TransitionRef> result;
+  for (StateId s = 0; s < num_states_; ++s) {
+    for (InputId i = 0; i < num_inputs_; ++i) {
+      const auto& edges = table_[idx(s, i)];
+      const bool mixed_outputs =
+          std::any_of(edges.begin(), edges.end(), [&](const Transition& t) {
+            return t.output != edges.front().output;
+          });
+      if (mixed_outputs) result.push_back({s, i});
+    }
+  }
+  return result;
+}
+
+std::optional<MealyMachine> NondetMealyMachine::to_deterministic() const {
+  MealyMachine m(num_states_, num_inputs_);
+  m.set_initial_state(initial_);
+  for (StateId s = 0; s < num_states_; ++s) {
+    for (InputId i = 0; i < num_inputs_; ++i) {
+      const auto& edges = table_[idx(s, i)];
+      if (edges.empty()) continue;
+      if (edges.size() > 1) return std::nullopt;
+      m.set_transition(s, i, edges.front().next, edges.front().output);
+    }
+  }
+  return m;
+}
+
+}  // namespace simcov::fsm

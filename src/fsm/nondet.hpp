@@ -1,0 +1,62 @@
+// Nondeterministic Mealy machines.
+//
+// The paper notes (Section 4.1) that because "multiple transitions in the
+// implementation, with possibly different outputs, may map to the same
+// transition in the test model, the test model may have non-deterministic
+// outputs." Quotient machines built by the abstraction module therefore land
+// here first; output nondeterminism on a (state, input) pair is exactly the
+// symptom of abstracting too much (a Requirement 1 hazard, Section 6.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+
+namespace simcov::fsm {
+
+class NondetMealyMachine {
+ public:
+  NondetMealyMachine() = default;
+  NondetMealyMachine(StateId num_states, InputId num_inputs);
+
+  [[nodiscard]] StateId num_states() const { return num_states_; }
+  [[nodiscard]] InputId num_inputs() const { return num_inputs_; }
+
+  void set_initial_state(StateId s);
+  [[nodiscard]] StateId initial_state() const { return initial_; }
+
+  /// Adds an edge; duplicate (next, output) pairs on the same (s, i) are
+  /// collapsed.
+  void add_transition(StateId s, InputId i, StateId next, OutputId output);
+  [[nodiscard]] std::span<const Transition> transitions(StateId s,
+                                                        InputId i) const;
+
+  /// Exactly one successor edge for every *defined* (state, input) pair.
+  [[nodiscard]] bool is_deterministic() const;
+  /// Some (state, input) pair admits two edges with different outputs —
+  /// the "non-deterministic outputs" the paper warns about.
+  [[nodiscard]] bool has_output_nondeterminism() const;
+  /// The (state, input) pairs exhibiting output nondeterminism.
+  [[nodiscard]] std::vector<TransitionRef> output_nondeterministic_pairs()
+      const;
+
+  /// Converts to a deterministic machine. Empty optional when any (s, i)
+  /// pair has more than one edge.
+  [[nodiscard]] std::optional<MealyMachine> to_deterministic() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(StateId s, InputId i) const {
+    return static_cast<std::size_t>(s) * num_inputs_ + i;
+  }
+  void check_ids(StateId s, InputId i) const;
+
+  StateId num_states_ = 0;
+  InputId num_inputs_ = 0;
+  StateId initial_ = 0;
+  std::vector<std::vector<Transition>> table_;
+};
+
+}  // namespace simcov::fsm

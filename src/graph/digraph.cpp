@@ -1,0 +1,150 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace simcov::graph {
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, std::int64_t cost,
+                         std::uint64_t label) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    throw std::out_of_range("Digraph::add_edge: node id out of range");
+  }
+  edges_.push_back(Edge{from, to, cost, label});
+  const EdgeId id = edges_.size() - 1;
+  out_[from].push_back(id);
+  ++in_degree_[to];
+  return id;
+}
+
+std::int64_t Digraph::total_cost() const {
+  return std::accumulate(edges_.begin(), edges_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Edge& e) {
+                           return acc + e.cost;
+                         });
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, 0);
+
+  constexpr NodeId kUnvisited = 0xffffffffu;
+  std::vector<NodeId> index(n, kUnvisited);
+  std::vector<NodeId> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  NodeId next_index = 0;
+
+  // Iterative Tarjan: each frame tracks the node and the position within its
+  // adjacency list.
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back(Frame{root, 0});
+    while (!call_stack.empty()) {
+      Frame& fr = call_stack.back();
+      const NodeId v = fr.node;
+      if (fr.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      const auto edges = g.out_edges(v);
+      while (fr.edge_pos < edges.size()) {
+        const NodeId w = g.edge(edges[fr.edge_pos]).to;
+        ++fr.edge_pos;
+        if (index[w] == kUnvisited) {
+          call_stack.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // All successors processed: close the frame.
+      if (lowlink[v] == index[v]) {
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.count;
+        } while (w != v);
+        ++result.count;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const NodeId parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return true;
+  return strongly_connected_components(g).count == 1;
+}
+
+bool has_eulerian_circuit(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.out_degree(v) != g.in_degree(v)) return false;
+  }
+  if (g.num_edges() == 0) return true;
+  // All edge-touched nodes must be in one SCC.
+  const SccResult scc = strongly_connected_components(g);
+  NodeId edge_component = scc.count;  // sentinel
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId c = scc.component[g.edge(e).from];
+    if (edge_component == scc.count) {
+      edge_component = c;
+    } else if (c != edge_component) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<EdgeId> eulerian_circuit(const Digraph& g, NodeId start) {
+  if (g.num_edges() == 0) return {};
+  assert(has_eulerian_circuit(g));
+  if (g.out_degree(start) == 0) {
+    throw std::invalid_argument(
+        "eulerian_circuit: start node touches no edges");
+  }
+  // Hierholzer, iterative. next_edge[v] is a cursor into v's adjacency list.
+  std::vector<std::size_t> next_edge(g.num_nodes(), 0);
+  std::vector<EdgeId> circuit;
+  circuit.reserve(g.num_edges());
+  // Stack of (node, edge-taken-to-get-here). Emit edges on unwinding to get
+  // the circuit in order.
+  std::vector<std::pair<NodeId, EdgeId>> stack;
+  constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+  stack.emplace_back(start, kNoEdge);
+  while (!stack.empty()) {
+    const NodeId v = stack.back().first;
+    if (next_edge[v] < g.out_edges(v).size()) {
+      const EdgeId e = g.out_edges(v)[next_edge[v]++];
+      stack.emplace_back(g.edge(e).to, e);
+    } else {
+      if (stack.back().second != kNoEdge) circuit.push_back(stack.back().second);
+      stack.pop_back();
+    }
+  }
+  std::reverse(circuit.begin(), circuit.end());
+  assert(circuit.size() == g.num_edges());
+  return circuit;
+}
+
+}  // namespace simcov::graph

@@ -1,0 +1,84 @@
+// Directed multigraph used by the tour generators.
+//
+// Transition tours reduce to walks on the state graph of a test model: each
+// FSM transition becomes a labelled edge, and the minimum-cost transition
+// tour is exactly the Directed Chinese Postman tour of that graph [Aho+91].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace simcov::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::size_t;
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::int64_t cost = 1;
+  /// Opaque user payload; tour code stores the FSM transition id here.
+  std::uint64_t label = 0;
+};
+
+/// A directed multigraph with per-edge costs and labels. Parallel edges and
+/// self-loops are allowed (both occur naturally in FSM state graphs).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(NodeId num_nodes) : out_(num_nodes), in_degree_(num_nodes) {}
+
+  NodeId add_node() {
+    out_.emplace_back();
+    in_degree_.push_back(0);
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  EdgeId add_edge(NodeId from, NodeId to, std::int64_t cost = 1,
+                  std::uint64_t label = 0);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(out_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[v];
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId v) const {
+    return out_[v].size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_degree_[v]; }
+  [[nodiscard]] std::int64_t total_cost() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::size_t> in_degree_;
+};
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+struct SccResult {
+  /// component[v] is the SCC index of node v; indices are in reverse
+  /// topological order of the condensation (standard Tarjan numbering).
+  std::vector<NodeId> component;
+  NodeId count = 0;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True when every node is in a single SCC (the whole graph).
+bool is_strongly_connected(const Digraph& g);
+
+/// True when all edges lie in one SCC and every node touched by an edge is
+/// degree-balanced (in == out) — the directed Eulerian circuit condition.
+bool has_eulerian_circuit(const Digraph& g);
+
+/// Eulerian circuit via Hierholzer's algorithm. Returns the sequence of edge
+/// ids of a closed walk from `start` using every edge exactly once.
+/// Precondition: has_eulerian_circuit(g) and `start` touches an edge (or the
+/// graph has no edges, yielding an empty circuit).
+std::vector<EdgeId> eulerian_circuit(const Digraph& g, NodeId start);
+
+}  // namespace simcov::graph

@@ -1,0 +1,96 @@
+#include "graph/min_cost_flow.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace simcov::graph {
+
+std::size_t MinCostFlow::add_arc(std::uint32_t u, std::uint32_t v,
+                                 std::int64_t capacity, std::int64_t cost) {
+  if (u >= head_.size() || v >= head_.size()) {
+    throw std::out_of_range("MinCostFlow::add_arc: node id out of range");
+  }
+  if (capacity < 0 || cost < 0) {
+    throw std::invalid_argument(
+        "MinCostFlow::add_arc: capacity and cost must be non-negative");
+  }
+  const std::size_t id = arcs_.size();
+  arcs_.push_back(Arc{v, capacity, cost, head_[u]});
+  head_[u] = static_cast<int>(id);
+  arcs_.push_back(Arc{u, 0, -cost, head_[v]});
+  head_[v] = static_cast<int>(id + 1);
+  original_cap_.push_back(capacity);
+  return id;
+}
+
+std::pair<std::int64_t, std::int64_t> MinCostFlow::solve(
+    std::uint32_t s, std::uint32_t t, std::int64_t max_flow) {
+  const std::size_t n = head_.size();
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  std::vector<std::int64_t> potential(n, 0);  // valid: all costs >= 0
+  std::int64_t flow = 0;
+  std::int64_t cost = 0;
+
+  std::vector<std::int64_t> dist(n);
+  std::vector<int> prev_arc(n);
+  std::vector<bool> done(n);
+
+  while (flow < max_flow) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(prev_arc.begin(), prev_arc.end(), -1);
+    std::fill(done.begin(), done.end(), false);
+    using Item = std::pair<std::int64_t, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (done[v]) continue;
+      done[v] = true;
+      for (int a = head_[v]; a != -1; a = arcs_[a].next) {
+        const Arc& arc = arcs_[a];
+        if (arc.cap <= 0 || done[arc.to]) continue;
+        const std::int64_t nd =
+            d + arc.cost + potential[v] - potential[arc.to];
+        if (nd < dist[arc.to]) {
+          dist[arc.to] = nd;
+          prev_arc[arc.to] = a;
+          pq.emplace(nd, arc.to);
+        }
+      }
+    }
+    if (dist[t] >= kInf) break;  // t unreachable: maximum flow reached
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Find bottleneck along the shortest path.
+    std::int64_t push = max_flow - flow;
+    for (std::uint32_t v = t; v != s;) {
+      const Arc& arc = arcs_[prev_arc[v]];
+      push = std::min(push, arc.cap);
+      v = arcs_[prev_arc[v] ^ 1].to;
+    }
+    // Apply.
+    for (std::uint32_t v = t; v != s;) {
+      Arc& arc = arcs_[prev_arc[v]];
+      arc.cap -= push;
+      arcs_[prev_arc[v] ^ 1].cap += push;
+      cost += push * arc.cost;
+      v = arcs_[prev_arc[v] ^ 1].to;
+    }
+    flow += push;
+  }
+  return {flow, cost};
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t id) const {
+  // add_arc returns the index of the forward arc (always even); the
+  // corresponding original capacity lives at id/2.
+  return original_cap_[id / 2] - arcs_[id].cap;
+}
+
+}  // namespace simcov::graph

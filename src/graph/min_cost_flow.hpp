@@ -1,0 +1,43 @@
+// Minimum-cost maximum-flow via successive shortest paths with Johnson
+// potentials. Used by the Directed Chinese Postman solver to choose the
+// cheapest set of edge duplications that makes the state graph Eulerian.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simcov::graph {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::uint32_t num_nodes) : head_(num_nodes, -1) {}
+
+  /// Adds a directed arc u -> v. Costs must be non-negative.
+  /// Returns an arc id usable with flow_on().
+  std::size_t add_arc(std::uint32_t u, std::uint32_t v, std::int64_t capacity,
+                      std::int64_t cost);
+
+  /// Sends up to `max_flow` units from s to t at minimum cost.
+  /// Returns {flow actually sent, total cost of that flow}.
+  std::pair<std::int64_t, std::int64_t> solve(
+      std::uint32_t s, std::uint32_t t,
+      std::int64_t max_flow = std::int64_t{1} << 62);
+
+  /// Flow routed through arc `id` by the last solve() call.
+  [[nodiscard]] std::int64_t flow_on(std::size_t id) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::int64_t cap;   // residual capacity
+    std::int64_t cost;
+    int next;           // intrusive adjacency list
+  };
+
+  // Forward arc 2k pairs with backward arc 2k+1.
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<std::int64_t> original_cap_;
+};
+
+}  // namespace simcov::graph

@@ -1,0 +1,85 @@
+#include "graph/postman.hpp"
+
+#include <stdexcept>
+
+#include "graph/min_cost_flow.hpp"
+
+namespace simcov::graph {
+
+std::optional<PostmanResult> directed_chinese_postman(const Digraph& g,
+                                                      NodeId start) {
+  PostmanResult result;
+  if (g.num_edges() == 0) return result;  // empty tour covers nothing
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge(e).cost < 0) {
+      throw std::invalid_argument(
+          "directed_chinese_postman: negative edge cost");
+    }
+    result.lower_bound += g.edge(e).cost;
+  }
+
+  // Feasibility: every edge-touched node (and the start) must share one SCC.
+  const SccResult scc = strongly_connected_components(g);
+  NodeId edge_comp = scc.count;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId c = scc.component[g.edge(e).from];
+    const NodeId c2 = scc.component[g.edge(e).to];
+    if (edge_comp == scc.count) edge_comp = c;
+    if (c != edge_comp || c2 != edge_comp) return std::nullopt;
+  }
+  if (scc.component[start] != edge_comp) return std::nullopt;
+
+  // Imbalance b(v) = out(v) - in(v). Duplicated paths must start at nodes
+  // with b < 0 (entered more than left) and end at nodes with b > 0.
+  const NodeId n = g.num_nodes();
+  std::vector<std::int64_t> balance(n, 0);
+  std::int64_t total_deficit = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    balance[v] = static_cast<std::int64_t>(g.out_degree(v)) -
+                 static_cast<std::int64_t>(g.in_degree(v));
+    if (balance[v] < 0) total_deficit += -balance[v];
+  }
+
+  std::vector<std::int64_t> duplicates(g.num_edges(), 0);
+  if (total_deficit > 0) {
+    MinCostFlow mcf(n + 2);
+    const std::uint32_t src = n;
+    const std::uint32_t sink = n + 1;
+    std::vector<std::size_t> edge_arcs(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      edge_arcs[e] = mcf.add_arc(g.edge(e).from, g.edge(e).to, total_deficit,
+                                 g.edge(e).cost);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (balance[v] < 0) mcf.add_arc(src, v, -balance[v], 0);
+      if (balance[v] > 0) mcf.add_arc(v, sink, balance[v], 0);
+    }
+    const auto [flow, flow_cost] = mcf.solve(src, sink);
+    (void)flow_cost;
+    if (flow != total_deficit) return std::nullopt;  // defensive; SCC => feasible
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      duplicates[e] = mcf.flow_on(edge_arcs[e]);
+    }
+  }
+
+  // Augmented multigraph: original edge ids ride in the label field.
+  Digraph aug(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    for (std::int64_t k = 0; k <= duplicates[e]; ++k) {
+      aug.add_edge(ed.from, ed.to, ed.cost, e);
+      if (k > 0) ++result.duplicated_edges;
+    }
+  }
+  const std::vector<EdgeId> circuit = eulerian_circuit(aug, start);
+  result.tour.reserve(circuit.size());
+  for (EdgeId ae : circuit) {
+    const EdgeId orig = static_cast<EdgeId>(aug.edge(ae).label);
+    result.tour.push_back(orig);
+    result.total_cost += g.edge(orig).cost;
+  }
+  return result;
+}
+
+}  // namespace simcov::graph

@@ -1,0 +1,37 @@
+// Directed Chinese Postman Problem.
+//
+// The paper (Section 6.5) notes that a minimum-cost transition tour of a test
+// model "corresponds directly to the Chinese postman problem, which can be
+// solved in polynomial time" [Aho+91]. This module implements that reduction:
+// balance the state graph by duplicating edges along min-cost-flow paths,
+// then extract an Eulerian circuit of the augmented multigraph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace simcov::graph {
+
+struct PostmanResult {
+  /// Closed walk from the start node covering every edge of the input graph
+  /// at least once, as a sequence of *input-graph* edge ids (edges duplicated
+  /// by the augmentation appear multiple times).
+  std::vector<EdgeId> tour;
+  /// Total cost of the tour.
+  std::int64_t total_cost = 0;
+  /// Sum of all edge costs = lower bound on any covering tour.
+  std::int64_t lower_bound = 0;
+  /// Number of duplicate traversals the augmentation added.
+  std::size_t duplicated_edges = 0;
+};
+
+/// Solves the directed CPP from `start`. Edge costs must be non-negative.
+/// Returns nullopt when no covering closed walk exists (the edge-touched part
+/// of the graph is not strongly connected, or `start` cannot join it).
+std::optional<PostmanResult> directed_chinese_postman(const Digraph& g,
+                                                      NodeId start);
+
+}  // namespace simcov::graph

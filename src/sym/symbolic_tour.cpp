@@ -1,0 +1,241 @@
+#include "sym/symbolic_tour.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace simcov::sym {
+
+namespace {
+
+/// Drives the tour: concrete walking over the implicit model.
+///
+/// Per visited state, the valid inputs and their successor states are
+/// enumerated once (via generalized cofactor of the input constraint) and
+/// memoized packed; covering steps then cost O(1). A per-state cursor is
+/// exact coverage bookkeeping: transition (s, i) can only be covered by
+/// taking i at s, so inputs before the cursor are covered, inputs after are
+/// not. Navigation toward uncovered states uses pre-image distance layers,
+/// recomputed lazily when stale.
+class TourDriver {
+ public:
+  TourDriver(SymbolicFsm& fsm, const SymbolicTourOptions& options)
+      : fsm_(fsm),
+        mgr_(fsm.manager()),
+        options_(options),
+        num_latches_(fsm.ps_vars().size()),
+        num_pis_(fsm.pi_vars().size()) {
+    if (num_latches_ > 63 || num_pis_ > 63) {
+      throw std::invalid_argument(
+          "symbolic_transition_tour: too many variables for packed keys");
+    }
+    assignment_.assign(mgr_.var_count(), false);
+    zeros_pi_.assign(num_pis_, false);
+  }
+
+  SymbolicTourResult run() {
+    SymbolicTourResult result;
+    const bdd::Bdd reached = fsm_.reachable_states();
+    result.transitions_total = fsm_.count_transitions(reached);
+    const auto total_count =
+        static_cast<std::size_t>(result.transitions_total);
+
+    const std::vector<unsigned> pi_vec(fsm_.pi_vars().begin(),
+                                       fsm_.pi_vars().end());
+    uncovered_states_ =
+        reached & mgr_.exists(fsm_.valid_inputs(), mgr_.cube(pi_vec));
+
+    state_ = pack_bits(fsm_.initial_state_bits());
+    if (options_.record_inputs) result.sequences.emplace_back();
+
+    while (result.steps < options_.max_steps) {
+      if (covered_count_ >= total_count) {
+        result.complete = true;
+        break;
+      }
+      StateInfo& info = state_info(state_);
+      std::uint64_t input = 0;
+      std::uint64_t next = 0;
+      if (info.cursor < info.edges.size()) {
+        // Cover the next fresh transition out of this state.
+        input = info.edges[info.cursor].input;
+        next = info.edges[info.cursor].next;
+        ++info.cursor;
+        ++covered_count_;
+        if (info.cursor == info.edges.size()) {
+          pending_exhausted_.push_back(state_);
+        }
+      } else if (!navigate(info, input, next)) {
+        // No path to an uncovered transition from here: reset.
+        ++result.restarts;
+        state_ = pack_bits(fsm_.initial_state_bits());
+        if (options_.record_inputs) result.sequences.emplace_back();
+        continue;
+      }
+      if (options_.record_inputs) {
+        result.sequences.back().push_back(unpack_input(input));
+      }
+      state_ = next;
+      ++result.steps;
+    }
+    result.transitions_covered = static_cast<double>(covered_count_);
+    return result;
+  }
+
+ private:
+  struct Edge {
+    std::uint64_t input;
+    std::uint64_t next;
+  };
+  struct StateInfo {
+    std::vector<Edge> edges;
+    std::size_t cursor = 0;
+  };
+
+  // ---- packing -------------------------------------------------------------
+  static std::uint64_t pack_bits(const std::vector<bool>& bits) {
+    std::uint64_t key = 0;
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      if (bits[j]) key |= std::uint64_t{1} << j;
+    }
+    return key;
+  }
+  std::vector<bool> unpack_input(std::uint64_t input) const {
+    std::vector<bool> bits(num_pis_);
+    for (std::size_t k = 0; k < num_pis_; ++k) {
+      bits[k] = (input >> k) & 1u;
+    }
+    return bits;
+  }
+
+  void load_assignment(std::uint64_t state, std::uint64_t input) {
+    for (std::size_t j = 0; j < num_latches_; ++j) {
+      assignment_[fsm_.ps_var(j)] = (state >> j) & 1u;
+    }
+    for (std::size_t k = 0; k < num_pis_; ++k) {
+      assignment_[fsm_.pi_var(k)] = (input >> k) & 1u;
+    }
+  }
+
+  bdd::Bdd state_minterm(std::uint64_t state) {
+    std::vector<bool> bits(num_latches_);
+    for (std::size_t j = 0; j < num_latches_; ++j) {
+      bits[j] = (state >> j) & 1u;
+    }
+    return mgr_.minterm(fsm_.ps_vars(), bits);
+  }
+
+  /// Enumerates (valid input, successor) pairs of a state, once.
+  StateInfo& state_info(std::uint64_t state) {
+    const auto it = cache_.find(state);
+    if (it != cache_.end()) return it->second;
+    StateInfo info;
+    const bdd::Bdd at_state =
+        mgr_.constrain(fsm_.valid_inputs(), state_minterm(state));
+    const auto& funcs = fsm_.next_functions();
+    mgr_.for_each_minterm(
+        at_state, fsm_.pi_vars(), [&](const std::vector<bool>& in) {
+          const std::uint64_t input = pack_bits(in);
+          load_assignment(state, input);
+          std::uint64_t next = 0;
+          for (std::size_t j = 0; j < num_latches_; ++j) {
+            if (mgr_.eval(funcs[j], assignment_)) {
+              next |= std::uint64_t{1} << j;
+            }
+          }
+          info.edges.push_back(Edge{input, next});
+          return true;
+        });
+    return cache_.emplace(state, std::move(info)).first->second;
+  }
+
+  bool eval_at_state(const bdd::Bdd& f, std::uint64_t state) {
+    load_assignment(state, 0);
+    return mgr_.eval(f, assignment_);
+  }
+
+  // ---- navigation ---------------------------------------------------------------
+  void flush_exhausted() {
+    if (pending_exhausted_.empty()) return;
+    bdd::Bdd gone = mgr_.zero();
+    for (const std::uint64_t s : pending_exhausted_) {
+      gone |= state_minterm(s);
+    }
+    uncovered_states_ &= !gone;
+    pending_exhausted_.clear();
+  }
+
+  void compute_layers() {
+    flush_exhausted();
+    layers_.clear();
+    layers_.push_back(uncovered_states_);
+    bdd::Bdd seen = uncovered_states_;
+    for (;;) {
+      const bdd::Bdd prev = fsm_.preimage(seen) & !seen;
+      if (prev.is_zero()) break;
+      layers_.push_back(prev);
+      seen |= prev;
+      if (eval_at_state(prev, state_)) break;  // current state reached
+    }
+  }
+
+  std::optional<std::size_t> layer_of(std::uint64_t state) {
+    for (std::size_t k = 0; k < layers_.size(); ++k) {
+      if (eval_at_state(layers_[k], state)) return k;
+    }
+    return std::nullopt;
+  }
+
+  /// Picks the edge stepping one layer closer to the uncovered set.
+  bool descend(const StateInfo& info, std::size_t target_layer,
+               std::uint64_t& input_out, std::uint64_t& next_out) {
+    for (const Edge& e : info.edges) {
+      if (eval_at_state(layers_[target_layer], e.next)) {
+        input_out = e.input;
+        next_out = e.next;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool navigate(const StateInfo& info, std::uint64_t& input_out,
+                std::uint64_t& next_out) {
+    if (info.edges.empty()) return false;  // dead end
+    auto k = layer_of(state_);
+    if (k.has_value() && *k > 0 &&
+        descend(info, *k - 1, input_out, next_out)) {
+      return true;
+    }
+    // Missing or stale layers: recompute once and retry.
+    compute_layers();
+    k = layer_of(state_);
+    if (!k.has_value() || *k == 0) return false;
+    return descend(info, *k - 1, input_out, next_out);
+  }
+
+  SymbolicFsm& fsm_;
+  bdd::BddManager& mgr_;
+  SymbolicTourOptions options_;
+  const std::size_t num_latches_;
+  const std::size_t num_pis_;
+
+  std::uint64_t state_ = 0;
+  std::vector<bool> assignment_;
+  std::vector<bool> zeros_pi_;
+  std::unordered_map<std::uint64_t, StateInfo> cache_;
+  std::vector<std::uint64_t> pending_exhausted_;
+  std::size_t covered_count_ = 0;
+  bdd::Bdd uncovered_states_;
+  std::vector<bdd::Bdd> layers_;
+};
+
+}  // namespace
+
+SymbolicTourResult symbolic_transition_tour(
+    SymbolicFsm& fsm, const SymbolicTourOptions& options) {
+  TourDriver driver(fsm, options);
+  return driver.run();
+}
+
+}  // namespace simcov::sym

@@ -1,0 +1,54 @@
+// Symbolic transition-tour generation.
+//
+// The paper's 22-latch test model has 123 million transitions — no explicit
+// enumeration fits, so its 1069M-step tour was generated on the implicit
+// (BDD) representation (Section 7.2). This module does the same: it walks
+// the machine concretely, one state vector at a time, while tracking the
+// set of covered (state, input) pairs as a BDD and navigating toward
+// uncovered transitions with pre-image distance layers.
+//
+// Algorithm sketch:
+//   covered(ps, pi) := 0
+//   repeat:
+//     if the current state has an uncovered valid input: take it, mark it
+//     else: follow pre-image layers to the nearest state that has one
+//     when no uncovered transition is reachable: restart from reset
+//   until every reachable transition is covered (or the step cap is hit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sym/symbolic_fsm.hpp"
+
+namespace simcov::sym {
+
+struct SymbolicTourOptions {
+  /// Hard cap on total walk length.
+  std::size_t max_steps = 10'000'000;
+  /// Record the concrete input vectors (per reset-separated sequence).
+  /// Disable for very long tours to save memory; statistics still work.
+  bool record_inputs = true;
+};
+
+struct SymbolicTourResult {
+  /// Reset-separated input sequences (each entry is PI values per step);
+  /// empty when record_inputs was false.
+  std::vector<std::vector<std::vector<bool>>> sequences;
+  std::size_t steps = 0;
+  std::size_t restarts = 0;
+  double transitions_total = 0.0;    ///< reachable (state, input) pairs
+  double transitions_covered = 0.0;
+  bool complete = false;             ///< every reachable transition covered
+
+  [[nodiscard]] double coverage() const {
+    return transitions_total == 0.0 ? 1.0
+                                    : transitions_covered / transitions_total;
+  }
+};
+
+/// Generates a transition tour of `fsm` on the implicit representation.
+SymbolicTourResult symbolic_transition_tour(
+    SymbolicFsm& fsm, const SymbolicTourOptions& options = {});
+
+}  // namespace simcov::sym

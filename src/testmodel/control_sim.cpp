@@ -1,0 +1,150 @@
+#include "testmodel/control_sim.hpp"
+
+#include <stdexcept>
+
+namespace simcov::testmodel {
+
+ControlModelSim::ControlModelSim(const BuiltTestModel& model) : model_(model) {
+  const auto& c = model_.circuit;
+  // Classify every network input as latch or primary input, by signal id.
+  std::map<sym::SignalId, std::size_t> latch_of;
+  for (std::size_t j = 0; j < c.latches.size(); ++j) {
+    latch_of[c.latches[j].current] = j;
+  }
+  std::map<sym::SignalId, std::string> pi_name;
+  const auto net_inputs = c.net.inputs();
+  for (std::size_t k = 0; k < net_inputs.size(); ++k) {
+    pi_name[net_inputs[k]] = c.net.input_name(k);
+  }
+  auto parse_pi = [](const std::string& name, Role& role) {
+    auto suffix_bits = [&](std::size_t prefix_len) {
+      return static_cast<unsigned>(std::stoul(name.substr(prefix_len)));
+    };
+    if (name == "branch_outcome") {
+      role.pi_kind = PiKind::kBranchOutcome;
+    } else if (name == "instr_valid") {
+      role.pi_kind = PiKind::kInstrValid;
+    } else if (name.rfind("op", 0) == 0) {
+      role.pi_kind = PiKind::kOpBit;
+      role.pi_bit = suffix_bits(2);
+    } else if (name.rfind("rs1_", 0) == 0) {
+      role.pi_kind = PiKind::kRs1Bit;
+      role.pi_bit = suffix_bits(4);
+    } else if (name.rfind("rs2_", 0) == 0) {
+      role.pi_kind = PiKind::kRs2Bit;
+      role.pi_bit = suffix_bits(4);
+    } else if (name.rfind("rd_", 0) == 0) {
+      role.pi_kind = PiKind::kRdBit;
+      role.pi_bit = suffix_bits(3);
+    } else {
+      throw std::logic_error("ControlModelSim: unmapped primary input " +
+                             name);
+    }
+  };
+  roles_.reserve(net_inputs.size());
+  for (sym::SignalId s : net_inputs) {
+    Role role;
+    const auto it = latch_of.find(s);
+    if (it != latch_of.end()) {
+      role.is_latch = true;
+      role.latch_index = it->second;
+    } else {
+      parse_pi(pi_name[s], role);
+    }
+    roles_.push_back(role);
+  }
+  for (std::size_t k = 0; k < c.outputs.size(); ++k) {
+    output_index_[c.outputs[k].first] = k;
+  }
+  input_scratch_.assign(roles_.size(), false);
+  reset();
+}
+
+void ControlModelSim::reset() {
+  latches_.assign(model_.circuit.latches.size(), false);
+  for (std::size_t j = 0; j < latches_.size(); ++j) {
+    latches_[j] = model_.circuit.latches[j].init;
+  }
+  last_outputs_.assign(model_.circuit.outputs.size(), false);
+}
+
+void ControlModelSim::fill_network_inputs(const ControlInput& in) const {
+  const bool onehot = model_.options.onehot_opclass;
+  const unsigned cls_value = static_cast<unsigned>(in.cls);
+  for (std::size_t k = 0; k < roles_.size(); ++k) {
+    const Role& role = roles_[k];
+    if (role.is_latch) {
+      input_scratch_[k] = latches_[role.latch_index];
+      continue;
+    }
+    switch (role.pi_kind) {
+      case PiKind::kOpBit:
+        input_scratch_[k] = onehot ? (role.pi_bit == cls_value)
+                                   : (((cls_value >> role.pi_bit) & 1u) != 0);
+        break;
+      case PiKind::kRs1Bit:
+        input_scratch_[k] = ((in.rs1 >> role.pi_bit) & 1u) != 0;
+        break;
+      case PiKind::kRs2Bit:
+        input_scratch_[k] = ((in.rs2 >> role.pi_bit) & 1u) != 0;
+        break;
+      case PiKind::kRdBit:
+        input_scratch_[k] = ((in.rd >> role.pi_bit) & 1u) != 0;
+        break;
+      case PiKind::kBranchOutcome:
+        input_scratch_[k] = in.branch_outcome;
+        break;
+      case PiKind::kInstrValid:
+        input_scratch_[k] = in.instr_valid;
+        break;
+    }
+  }
+}
+
+bool ControlModelSim::input_valid(const ControlInput& in) const {
+  fill_network_inputs(in);
+  static thread_local std::vector<bool> sig;
+  model_.circuit.net.eval_into(input_scratch_, sig);
+  return !model_.circuit.valid.has_value() || sig[*model_.circuit.valid];
+}
+
+void ControlModelSim::step_fast(const ControlInput& in) {
+  fill_network_inputs(in);
+  static thread_local std::vector<bool> sig;
+  model_.circuit.net.eval_into(input_scratch_, sig);
+  if (model_.circuit.valid.has_value() && !sig[*model_.circuit.valid]) {
+    throw std::domain_error("ControlModelSim: invalid input combination");
+  }
+  const auto& outputs = model_.circuit.outputs;
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    last_outputs_[k] = sig[outputs[k].second];
+  }
+  std::vector<bool> next(latches_.size());
+  for (std::size_t j = 0; j < latches_.size(); ++j) {
+    next[j] = sig[model_.circuit.latches[j].next];
+  }
+  latches_ = std::move(next);
+}
+
+std::map<std::string, bool> ControlModelSim::step(const ControlInput& in) {
+  step_fast(in);
+  std::map<std::string, bool> named;
+  for (const auto& [name, index] : output_index_) {
+    named[name] = last_outputs_[index];
+  }
+  return named;
+}
+
+std::size_t ControlModelSim::output_index(const std::string& name) const {
+  const auto it = output_index_.find(name);
+  if (it == output_index_.end()) {
+    throw std::out_of_range("ControlModelSim: no output named " + name);
+  }
+  return it->second;
+}
+
+bool ControlModelSim::out(const std::string& name) const {
+  return last_outputs_[output_index(name)];
+}
+
+}  // namespace simcov::testmodel

@@ -1,0 +1,603 @@
+#include "testmodel/testmodel.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "dlx/isa.hpp"
+
+namespace simcov::testmodel {
+
+using dlx::OpClass;
+using sym::LogicNetwork;
+using sym::SequentialCircuit;
+using sym::SignalId;
+
+namespace {
+
+/// Instruction classes the control model distinguishes, ordered as in
+/// dlx::OpClass (values 0..10).
+constexpr unsigned kNumClasses = 11;
+
+constexpr bool class_reads_rs1(unsigned c) {
+  switch (static_cast<OpClass>(c)) {
+    case OpClass::kAlu:
+    case OpClass::kAluImm:
+    case OpClass::kLoad:
+    case OpClass::kStore:
+    case OpClass::kBranch:
+    case OpClass::kJumpReg:
+    case OpClass::kJumpLinkReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool class_reads_rs2(unsigned c) {
+  const auto cls = static_cast<OpClass>(c);
+  return cls == OpClass::kAlu || cls == OpClass::kStore;
+}
+
+constexpr bool class_writes(unsigned c) {
+  switch (static_cast<OpClass>(c)) {
+    case OpClass::kAlu:
+    case OpClass::kAluImm:
+    case OpClass::kLoad:
+    case OpClass::kJumpLink:
+    case OpClass::kJumpLinkReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool class_is_link(unsigned c) {
+  const auto cls = static_cast<OpClass>(c);
+  return cls == OpClass::kJumpLink || cls == OpClass::kJumpLinkReg;
+}
+
+constexpr bool class_is_jump(unsigned c) {
+  switch (static_cast<OpClass>(c)) {
+    case OpClass::kJump:
+    case OpClass::kJumpLink:
+    case OpClass::kJumpReg:
+    case OpClass::kJumpLinkReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Helper for building the netlist: bit-vector operations and latch-group
+/// bookkeeping on top of LogicNetwork.
+class Builder {
+ public:
+  explicit Builder(const TestModelOptions& opt) : opt_(opt) {
+    if (opt.reg_addr_bits < 1 || opt.reg_addr_bits > 5) {
+      throw std::invalid_argument(
+          "build_dlx_control_model: reg_addr_bits must be in [1, 5]");
+    }
+    allowed_.assign(kNumClasses, true);
+    if (opt.reduced_isa) {
+      allowed_.assign(kNumClasses, false);
+      for (OpClass c : {OpClass::kNop, OpClass::kAlu, OpClass::kLoad,
+                        OpClass::kStore, OpClass::kBranch}) {
+        allowed_[static_cast<unsigned>(c)] = true;
+      }
+    }
+  }
+
+  LogicNetwork& net() { return circuit_.net; }
+
+  SignalId pi(const std::string& name) {
+    const SignalId s = net().add_input(name);
+    circuit_.primary_inputs.push_back(s);
+    return s;
+  }
+
+  std::vector<SignalId> pi_vec(const std::string& name, unsigned width) {
+    std::vector<SignalId> v;
+    for (unsigned b = 0; b < width; ++b) v.push_back(pi(name + std::to_string(b)));
+    return v;
+  }
+
+  SignalId latch(const std::string& name) {
+    const SignalId s = net().add_input(name);
+    latch_inputs_.push_back(s);
+    latch_names_.push_back(name);
+    return s;
+  }
+
+  std::vector<SignalId> latch_vec(const std::string& name, unsigned width) {
+    std::vector<SignalId> v;
+    for (unsigned b = 0; b < width; ++b) {
+      v.push_back(latch(name + std::to_string(b)));
+    }
+    return v;
+  }
+
+  void drive(SignalId latch_in, SignalId next) {
+    next_of_[latch_in] = next;
+  }
+  void drive_vec(const std::vector<SignalId>& latch_in,
+                 const std::vector<SignalId>& next) {
+    for (std::size_t b = 0; b < latch_in.size(); ++b) {
+      drive(latch_in[b], next[b]);
+    }
+  }
+
+  void output(const std::string& name, SignalId s) {
+    raw_outputs_.emplace_back(name, s);
+  }
+  void output_vec(const std::string& name, const std::vector<SignalId>& v) {
+    for (std::size_t b = 0; b < v.size(); ++b) {
+      output(name + std::to_string(b), v[b]);
+    }
+  }
+
+  // ---- vector helpers -------------------------------------------------------
+  std::vector<SignalId> zeros(unsigned width) {
+    return std::vector<SignalId>(width, net().constant(false));
+  }
+  std::vector<SignalId> const_vec(unsigned width, std::uint32_t value) {
+    std::vector<SignalId> v;
+    for (unsigned b = 0; b < width; ++b) {
+      v.push_back(net().constant(((value >> b) & 1u) != 0));
+    }
+    return v;
+  }
+  std::vector<SignalId> mux_vec(SignalId sel, const std::vector<SignalId>& t,
+                                const std::vector<SignalId>& f) {
+    std::vector<SignalId> v;
+    for (std::size_t b = 0; b < t.size(); ++b) {
+      v.push_back(net().make_mux(sel, t[b], f[b]));
+    }
+    return v;
+  }
+  std::vector<SignalId> gate_vec(SignalId en, const std::vector<SignalId>& x) {
+    std::vector<SignalId> v;
+    for (SignalId s : x) v.push_back(net().make_and(en, s));
+    return v;
+  }
+  SignalId nonzero(const std::vector<SignalId>& x) { return net().make_or(x); }
+
+  /// Class encoding width for latches/PIs.
+  [[nodiscard]] unsigned cls_width() const {
+    return opt_.onehot_opclass ? kNumClasses : 4;
+  }
+
+  /// Predicate "this class vector encodes class c".
+  SignalId is_class(const std::vector<SignalId>& cls, unsigned c) {
+    if (opt_.onehot_opclass) return cls[c];
+    return net().make_eq_const(cls, c);
+  }
+
+  /// OR of is_class over all allowed classes satisfying `pred`.
+  template <typename Pred>
+  SignalId class_pred(const std::vector<SignalId>& cls, Pred pred) {
+    std::vector<SignalId> terms;
+    for (unsigned c = 0; c < kNumClasses; ++c) {
+      if (allowed_[c] && pred(c)) terms.push_back(is_class(cls, c));
+    }
+    return net().make_or(terms);
+  }
+
+  /// The canonical encoding of class value c, as a constant vector.
+  std::vector<SignalId> class_const(unsigned c) {
+    if (opt_.onehot_opclass) {
+      std::vector<SignalId> v = zeros(kNumClasses);
+      v[c] = net().constant(true);
+      return v;
+    }
+    return const_vec(4, c);
+  }
+
+  /// Format constraint on the raw instruction-field primary inputs.
+  SignalId format_constraint(const std::vector<SignalId>& cls,
+                             const std::vector<SignalId>& rs1,
+                             const std::vector<SignalId>& rs2,
+                             const std::vector<SignalId>& rd) {
+    std::vector<SignalId> conj;
+    if (opt_.onehot_opclass) {
+      // Exactly one allowed class bit set; disallowed bits always 0.
+      std::vector<SignalId> one_hot_terms;
+      for (unsigned c = 0; c < kNumClasses; ++c) {
+        if (!allowed_[c]) {
+          conj.push_back(net().make_not(cls[c]));
+          continue;
+        }
+        SignalId only_c = cls[c];
+        for (unsigned d = 0; d < kNumClasses; ++d) {
+          if (d != c) only_c = net().make_and(only_c, net().make_not(cls[d]));
+        }
+        one_hot_terms.push_back(only_c);
+      }
+      conj.push_back(net().make_or(one_hot_terms));
+    } else {
+      std::vector<SignalId> in_range;
+      for (unsigned c = 0; c < kNumClasses; ++c) {
+        if (allowed_[c]) in_range.push_back(net().make_eq_const(cls, c));
+      }
+      conj.push_back(net().make_or(in_range));
+    }
+    // Unused register fields must be zero (input don't-care normalization).
+    const SignalId rs1_zero = net().make_not(nonzero(rs1));
+    const SignalId rs2_zero = net().make_not(nonzero(rs2));
+    const SignalId rd_zero = net().make_not(nonzero(rd));
+    for (unsigned c = 0; c < kNumClasses; ++c) {
+      if (!allowed_[c]) continue;
+      const SignalId when = is_class(cls, c);
+      const SignalId not_when = net().make_not(when);
+      if (!class_reads_rs1(c)) conj.push_back(net().make_or(not_when, rs1_zero));
+      if (!class_reads_rs2(c)) conj.push_back(net().make_or(not_when, rs2_zero));
+      // rd is explicit only for ALU/ALU-imm/load destinations; links use the
+      // implicit link register.
+      const bool explicit_rd = class_writes(c) && !class_is_link(c);
+      if (!explicit_rd) conj.push_back(net().make_or(not_when, rd_zero));
+    }
+    return net().make_and(conj);
+  }
+
+  BuiltTestModel finish(SignalId valid_constraint) {
+    // Register outputs if the ladder step keeps synchronizing latches.
+    for (auto& [name, sig] : raw_outputs_) {
+      if (opt_.output_sync_latches) {
+        const SignalId l = latch("out_" + name);
+        drive(l, sig);
+        circuit_.outputs.emplace_back(name, l);
+      } else {
+        circuit_.outputs.emplace_back(name, sig);
+      }
+    }
+    circuit_.valid = valid_constraint;
+    // Materialize latch records.
+    for (std::size_t k = 0; k < latch_inputs_.size(); ++k) {
+      const SignalId in = latch_inputs_[k];
+      const auto it = next_of_.find(in);
+      if (it == next_of_.end()) {
+        throw std::logic_error("test model latch has no next-state function: " +
+                               latch_names_[k]);
+      }
+      circuit_.latches.push_back({in, it->second, false, latch_names_[k]});
+    }
+    BuiltTestModel built;
+    built.num_latches = static_cast<unsigned>(circuit_.latches.size());
+    built.num_inputs = static_cast<unsigned>(circuit_.primary_inputs.size());
+    built.num_outputs = static_cast<unsigned>(circuit_.outputs.size());
+    built.options = opt_;
+    built.circuit = std::move(circuit_);
+    return built;
+  }
+
+  const TestModelOptions& opt() const { return opt_; }
+  [[nodiscard]] bool allowed(unsigned c) const { return allowed_[c]; }
+
+ private:
+  TestModelOptions opt_;
+  std::vector<bool> allowed_;
+  SequentialCircuit circuit_;
+  std::vector<SignalId> latch_inputs_;
+  std::vector<std::string> latch_names_;
+  std::map<SignalId, SignalId> next_of_;
+  std::vector<std::pair<std::string, SignalId>> raw_outputs_;
+};
+
+}  // namespace
+
+BuiltTestModel build_dlx_control_model(const TestModelOptions& options) {
+  Builder b(options);
+  LogicNetwork& net = b.net();
+  const unsigned R = options.reg_addr_bits;
+  const std::uint32_t link_reg = (1u << R) - 1;  // top register is the link
+
+  // ---- Primary inputs: the reduced instruction format + datapath status ----
+  const std::vector<SignalId> pi_cls = b.pi_vec("op", b.cls_width());
+  const std::vector<SignalId> pi_rs1 = b.pi_vec("rs1_", R);
+  const std::vector<SignalId> pi_rs2 = b.pi_vec("rs2_", R);
+  const std::vector<SignalId> pi_rd = b.pi_vec("rd_", R);
+  const SignalId branch_outcome = b.pi("branch_outcome");
+  const SignalId pi_instr_valid =
+      options.fetch_controller ? b.pi("instr_valid") : net.constant(true);
+
+  // ---- Latch groups ----------------------------------------------------------
+  // EX stage (the paper's "current instruction").
+  const SignalId ex_valid = b.latch("ex_valid");
+  const std::vector<SignalId> ex_cls = b.latch_vec("ex_cls", b.cls_width());
+  // The register-address vectors are created bit-interleaved: the
+  // forwarding/interlock comparators relate bit j of each vector, so keeping
+  // those bits adjacent in the (creation-order) BDD variable order keeps the
+  // transition relation compact at 32-register scale.
+  std::vector<SignalId> ex_rs1(R), ex_rs2(R);
+  std::vector<SignalId> ex_dest, mem_dest, wb_dest;
+  if (options.keep_dest_in_state) {
+    ex_dest.resize(R);
+    mem_dest.resize(R);
+    wb_dest.resize(R);
+  }
+  for (unsigned j = 0; j < R; ++j) {
+    const std::string bit = std::to_string(j);
+    ex_rs1[j] = b.latch("ex_rs1_" + bit);
+    ex_rs2[j] = b.latch("ex_rs2_" + bit);
+    if (options.keep_dest_in_state) {
+      ex_dest[j] = b.latch("ex_dest" + bit);
+      mem_dest[j] = b.latch("mem_dest" + bit);
+      wb_dest[j] = b.latch("wb_dest" + bit);
+    }
+  }
+  if (!options.keep_dest_in_state) {
+    ex_dest = b.zeros(R);
+    mem_dest = b.zeros(R);
+    wb_dest = b.zeros(R);
+  }
+  // MEM / WB stages (the "two previous" instructions).
+  const SignalId mem_valid = b.latch("mem_valid");
+  const std::vector<SignalId> mem_cls = b.latch_vec("mem_cls", b.cls_width());
+  const SignalId wb_valid = b.latch("wb_valid");
+  const std::vector<SignalId> wb_cls = b.latch_vec("wb_cls", b.cls_width());
+
+  // Optional IF stage (fetch controller + IF/ID latch group).
+  SignalId in_valid = pi_instr_valid;
+  std::vector<SignalId> in_cls = pi_cls, in_rs1 = pi_rs1, in_rs2 = pi_rs2,
+                        in_rd = pi_rd;
+  SignalId ifid_valid = 0;
+  std::vector<SignalId> ifid_cls, ifid_rs1, ifid_rs2, ifid_rd, fetch_state;
+  SignalId halt_seen = 0, fetch_valid = 0;
+  if (options.fetch_controller) {
+    ifid_valid = b.latch("ifid_valid");
+    ifid_cls = b.latch_vec("ifid_cls", b.cls_width());
+    ifid_rs1 = b.latch_vec("ifid_rs1_", R);
+    ifid_rs2 = b.latch_vec("ifid_rs2_", R);
+    ifid_rd = b.latch_vec("ifid_rd_", R);
+    fetch_state = b.latch_vec("fetch_state", 4);  // one-hot RUN/STALL/SQ/HALT
+    halt_seen = b.latch("halt_seen");
+    fetch_valid = b.latch("fetch_valid");
+    in_valid = ifid_valid;
+    in_cls = ifid_cls;
+    in_rs1 = ifid_rs1;
+    in_rs2 = ifid_rs2;
+    in_rd = ifid_rd;
+  }
+  // Extra squash state needed when the instruction enters decode directly.
+  SignalId squash_pending = 0;
+  if (!options.fetch_controller) squash_pending = b.latch("squash_pending");
+
+  // ---- Core control logic ------------------------------------------------------
+  const SignalId in_reads_rs1 = b.class_pred(in_cls, class_reads_rs1);
+  const SignalId in_reads_rs2 = b.class_pred(in_cls, class_reads_rs2);
+  const SignalId in_writes = b.class_pred(in_cls, class_writes);
+  const SignalId in_is_link = b.class_pred(in_cls, class_is_link);
+  const SignalId in_is_halt = b.class_pred(in_cls, [](unsigned c) {
+    return static_cast<OpClass>(c) == OpClass::kHalt;
+  });
+
+  const SignalId ex_is_load = b.class_pred(ex_cls, [](unsigned c) {
+    return static_cast<OpClass>(c) == OpClass::kLoad;
+  });
+  const SignalId ex_is_branch = b.class_pred(ex_cls, [](unsigned c) {
+    return static_cast<OpClass>(c) == OpClass::kBranch;
+  });
+  const SignalId ex_is_jump = b.class_pred(ex_cls, class_is_jump);
+  const SignalId ex_reads_rs1 = b.class_pred(ex_cls, class_reads_rs1);
+  const SignalId ex_reads_rs2 = b.class_pred(ex_cls, class_reads_rs2);
+
+  const SignalId mem_writes = b.class_pred(mem_cls, class_writes);
+  const SignalId mem_is_load = b.class_pred(mem_cls, [](unsigned c) {
+    return static_cast<OpClass>(c) == OpClass::kLoad;
+  });
+  const SignalId mem_is_store = b.class_pred(mem_cls, [](unsigned c) {
+    return static_cast<OpClass>(c) == OpClass::kStore;
+  });
+  const SignalId wb_writes = b.class_pred(wb_cls, class_writes);
+
+  // Interlock: load in EX whose destination is read by the incoming
+  // instruction (Section 7.1's read-after-write interlock).
+  const SignalId ex_dest_nz = b.nonzero(ex_dest);
+  const SignalId rs1_hits_ex = net.make_eq(in_rs1, ex_dest);
+  const SignalId rs2_hits_ex = net.make_eq(in_rs2, ex_dest);
+  const SignalId stall = net.make_and(
+      net.make_and(ex_valid, net.make_and(ex_is_load, ex_dest_nz)),
+      net.make_and(in_valid,
+                   net.make_or(net.make_and(in_reads_rs1, rs1_hits_ex),
+                               net.make_and(in_reads_rs2, rs2_hits_ex))));
+
+  // Squash: control transfer resolving in EX.
+  const SignalId squash = net.make_and(
+      ex_valid,
+      net.make_or(ex_is_jump, net.make_and(ex_is_branch, branch_outcome)));
+
+  const SignalId kill =
+      options.fetch_controller ? squash : net.make_or(squash, squash_pending);
+  const SignalId accept = net.make_and(
+      in_valid, net.make_and(net.make_not(stall), net.make_not(kill)));
+
+  // Effective destination of the incoming instruction.
+  const std::vector<SignalId> in_dest = b.gate_vec(
+      in_writes,
+      b.mux_vec(in_is_link, b.const_vec(R, link_reg), in_rd));
+
+  // ---- Forwarding decisions (outputs; computed on the EX instruction) -------
+  const SignalId mem_fw_ok = net.make_and(
+      net.make_and(mem_valid, mem_writes),
+      net.make_and(net.make_not(mem_is_load), b.nonzero(mem_dest)));
+  const SignalId wb_fw_ok =
+      net.make_and(net.make_and(wb_valid, wb_writes), b.nonzero(wb_dest));
+  const SignalId a_hits_mem =
+      net.make_and(net.make_eq(ex_rs1, mem_dest), mem_fw_ok);
+  const SignalId a_hits_wb =
+      net.make_and(net.make_eq(ex_rs1, wb_dest), wb_fw_ok);
+  const SignalId b_hits_mem =
+      net.make_and(net.make_eq(ex_rs2, mem_dest), mem_fw_ok);
+  const SignalId b_hits_wb =
+      net.make_and(net.make_eq(ex_rs2, wb_dest), wb_fw_ok);
+  const SignalId ex_active_rs1 = net.make_and(ex_valid, ex_reads_rs1);
+  const SignalId ex_active_rs2 = net.make_and(ex_valid, ex_reads_rs2);
+  const SignalId fwdA_exmem = net.make_and(ex_active_rs1, a_hits_mem);
+  const SignalId fwdA_memwb = net.make_and(
+      ex_active_rs1, net.make_and(net.make_not(a_hits_mem), a_hits_wb));
+  const SignalId fwdB_exmem = net.make_and(ex_active_rs2, b_hits_mem);
+  const SignalId fwdB_memwb = net.make_and(
+      ex_active_rs2, net.make_and(net.make_not(b_hits_mem), b_hits_wb));
+
+  // ---- Next-state functions ---------------------------------------------------
+  b.drive(ex_valid, accept);
+  b.drive_vec(ex_cls, b.gate_vec(accept, in_cls));
+  b.drive_vec(ex_rs1, b.gate_vec(accept, in_rs1));
+  b.drive_vec(ex_rs2, b.gate_vec(accept, in_rs2));
+  if (options.keep_dest_in_state) {
+    b.drive_vec(ex_dest, b.gate_vec(accept, in_dest));
+    b.drive_vec(mem_dest, b.gate_vec(ex_valid, ex_dest));
+    b.drive_vec(wb_dest, b.gate_vec(mem_valid, mem_dest));
+  }
+  b.drive(mem_valid, ex_valid);
+  b.drive_vec(mem_cls, b.gate_vec(ex_valid, ex_cls));
+  b.drive(wb_valid, mem_valid);
+  b.drive_vec(wb_cls, b.gate_vec(mem_valid, mem_cls));
+  if (!options.fetch_controller) b.drive(squash_pending, squash);
+
+  if (options.fetch_controller) {
+    // IF/ID: hold on stall, kill on squash, else take the fetched word.
+    const SignalId take = net.make_and(pi_instr_valid, net.make_not(squash));
+    auto held = [&](const std::vector<SignalId>& cur,
+                    const std::vector<SignalId>& incoming) {
+      return b.mux_vec(stall, cur, b.gate_vec(take, incoming));
+    };
+    b.drive(ifid_valid,
+            net.make_mux(stall, ifid_valid, take));
+    b.drive_vec(ifid_cls, held(ifid_cls, pi_cls));
+    b.drive_vec(ifid_rs1, held(ifid_rs1, pi_rs1));
+    b.drive_vec(ifid_rs2, held(ifid_rs2, pi_rs2));
+    b.drive_vec(ifid_rd, held(ifid_rd, pi_rd));
+    // Fetch-state FSM (one-hot): RUN / STALLED / SQUASHING / HALTED.
+    const SignalId halt_now =
+        net.make_or(halt_seen, net.make_and(accept, in_is_halt));
+    const SignalId not_halt = net.make_not(halt_now);
+    b.drive(fetch_state[0],
+            net.make_and(not_halt, net.make_and(net.make_not(stall),
+                                                net.make_not(squash))));
+    b.drive(fetch_state[1], net.make_and(not_halt, stall));
+    b.drive(fetch_state[2], net.make_and(not_halt, squash));
+    b.drive(fetch_state[3], halt_now);
+    b.drive(halt_seen, halt_now);
+    b.drive(fetch_valid, net.make_and(pi_instr_valid, not_halt));
+  }
+
+  // Redundant interlock registers (the "less efficient implementation
+  // style" latches the ladder removes last).
+  if (options.interlock_registers) {
+    b.drive(b.latch("r_stall"), stall);
+    b.drive(b.latch("r_squash"), squash);
+    b.drive(b.latch("r_fwdA_exmem"), fwdA_exmem);
+    b.drive(b.latch("r_fwdA_memwb"), fwdA_memwb);
+    b.drive(b.latch("r_fwdB_exmem"), fwdB_exmem);
+    b.drive(b.latch("r_fwdB_memwb"), fwdB_memwb);
+    b.drive(b.latch("r_cmp_a_mem"), a_hits_mem);
+    b.drive(b.latch("r_cmp_a_wb"), a_hits_wb);
+    b.drive(b.latch("r_cmp_b_mem"), b_hits_mem);
+    b.drive(b.latch("r_cmp_b_wb"), b_hits_wb);
+    b.drive(b.latch("r_cmp_rs1_ex"), rs1_hits_ex);
+    b.drive(b.latch("r_cmp_rs2_ex"), rs2_hits_ex);
+  }
+
+  // ---- Outputs -------------------------------------------------------------------
+  b.output("stall", stall);
+  b.output("squash", squash);
+  b.output("fwdA_exmem", fwdA_exmem);
+  b.output("fwdA_memwb", fwdA_memwb);
+  b.output("fwdB_exmem", fwdB_exmem);
+  b.output("fwdB_memwb", fwdB_memwb);
+  if (options.expose_dest_outputs && options.keep_dest_in_state) {
+    // Requirement 5: the interaction state (destination addresses) is made
+    // observable during simulation.
+    b.output_vec("obs_ex_dest", ex_dest);
+    b.output_vec("obs_mem_dest", mem_dest);
+    b.output_vec("obs_wb_dest", wb_dest);
+  }
+
+  // Datapath-control signals that do not affect control flow, plus the
+  // latches carrying them down the pipe (removed by the ladder's
+  // "remove outputs not affecting control logic" step).
+  if (options.aux_outputs) {
+    // Binary operation code derived from the incoming class.
+    std::vector<SignalId> in_cls_bin;
+    if (options.onehot_opclass) {
+      for (unsigned bit = 0; bit < 4; ++bit) {
+        std::vector<SignalId> terms;
+        for (unsigned c = 0; c < kNumClasses; ++c) {
+          if (b.allowed(c) && ((c >> bit) & 1u)) terms.push_back(in_cls[c]);
+        }
+        in_cls_bin.push_back(net.make_or(terms));
+      }
+    } else {
+      in_cls_bin = in_cls;
+    }
+    const SignalId in_is_load = b.class_pred(in_cls, [](unsigned c) {
+      return static_cast<OpClass>(c) == OpClass::kLoad;
+    });
+    const SignalId in_is_store = b.class_pred(in_cls, [](unsigned c) {
+      return static_cast<OpClass>(c) == OpClass::kStore;
+    });
+    const std::vector<SignalId> ex_aluop = b.latch_vec("ex_aluop", 4);
+    const std::vector<SignalId> mem_aluop = b.latch_vec("mem_aluop", 4);
+    b.drive_vec(ex_aluop, b.gate_vec(accept, in_cls_bin));
+    b.drive_vec(mem_aluop, b.gate_vec(ex_valid, ex_aluop));
+    const std::vector<SignalId> ex_memsz = b.latch_vec("ex_memsz", 2);
+    const std::vector<SignalId> mem_memsz = b.latch_vec("mem_memsz", 2);
+    const std::vector<SignalId> wb_memsz = b.latch_vec("wb_memsz", 2);
+    std::vector<SignalId> in_memsz{net.make_and(accept, in_is_load),
+                                   net.make_and(accept, in_is_store)};
+    b.drive_vec(ex_memsz, in_memsz);
+    b.drive_vec(mem_memsz, b.gate_vec(ex_valid, ex_memsz));
+    b.drive_vec(wb_memsz, b.gate_vec(mem_valid, mem_memsz));
+    const SignalId ex_wbsel = b.latch("ex_wbsel");
+    const SignalId mem_wbsel = b.latch("mem_wbsel");
+    const SignalId wb_wbsel = b.latch("wb_wbsel");
+    b.drive(ex_wbsel, net.make_and(accept, in_is_load));
+    b.drive(mem_wbsel, net.make_and(ex_valid, ex_wbsel));
+    b.drive(wb_wbsel, net.make_and(mem_valid, mem_wbsel));
+    const SignalId ex_islink = b.latch("ex_islink");
+    const SignalId mem_islink = b.latch("mem_islink");
+    const SignalId wb_islink = b.latch("wb_islink");
+    b.drive(ex_islink, net.make_and(accept, in_is_link));
+    b.drive(mem_islink, net.make_and(ex_valid, ex_islink));
+    b.drive(wb_islink, net.make_and(mem_valid, mem_islink));
+
+    b.output_vec("aluop", mem_aluop);
+    b.output_vec("memsz", mem_memsz);
+    b.output("wbsel", wb_wbsel);
+    b.output("islink", wb_islink);
+    b.output("mem_read", net.make_and(mem_valid, mem_is_load));
+    b.output("mem_write", net.make_and(mem_valid, mem_is_store));
+  }
+
+  // ---- Input constraint ------------------------------------------------------
+  SignalId constraint = b.format_constraint(pi_cls, pi_rs1, pi_rs2, pi_rd);
+  // The branch-outcome status signal is generated by the datapath only when
+  // a branch is actually in EX ("relationships between datapath outputs
+  // modeled as primary inputs", Section 7.2).
+  const SignalId branch_ok = net.make_or(
+      net.make_not(branch_outcome), net.make_and(ex_valid, ex_is_branch));
+  constraint = net.make_and(constraint, branch_ok);
+
+  return b.finish(constraint);
+}
+
+std::vector<LadderStep> figure3b_ladder() {
+  std::vector<LadderStep> steps;
+  TestModelOptions opt;  // initial model: everything present, 32 registers
+  steps.push_back({"initial model", opt});
+  opt.output_sync_latches = false;
+  steps.push_back({"no synchronizing latches for outputs", opt});
+  opt.reg_addr_bits = 2;
+  steps.push_back({"4 registers instead of 32", opt});
+  opt.fetch_controller = false;
+  steps.push_back({"fetch controller removed", opt});
+  opt.aux_outputs = false;
+  steps.push_back({"remove outputs not affecting control logic", opt});
+  opt.onehot_opclass = false;
+  steps.push_back({"1-hot to binary encoding", opt});
+  opt.interlock_registers = false;
+  steps.push_back({"remove interlock registers (final model)", opt});
+  return steps;
+}
+
+}  // namespace simcov::testmodel

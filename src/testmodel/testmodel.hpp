@@ -1,0 +1,69 @@
+// Derivation of the DLX control test model (Section 7.1 of the paper).
+//
+// The test model is the non-observable part of the design: the pipeline
+// control. Following Figure 3(a), the datapath is abstracted away — the
+// instruction word and the datapath status (branch outcome) become primary
+// inputs, control signals become primary outputs — and the latch netlist
+// retains per-stage instruction class, validity, and the destination
+// register addresses of the current and two previous instructions (exactly
+// the interaction state called out in Section 7.1), plus the squash state.
+//
+// `TestModelOptions` parameterizes the abstraction ladder of Figure 3(b):
+// each boolean adds/removes a latch group, so the bench can print the
+// latch-count sequence; behaviour of the *core* control (stall, squash,
+// forwarding) is identical across the ladder, which is what makes each step
+// a transition-preserving local transformation.
+//
+// Two extra switches support the paper's requirement ablations:
+//  * keep_dest_in_state = false drops the destination-register addresses
+//    from the latches — "abstracting too much" (Section 6.3): output errors
+//    on interlock transitions become non-uniform.
+//  * expose_dest_outputs = false hides them from the outputs — violating
+//    Requirement 5 (observability of interaction state).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sym/symbolic_fsm.hpp"
+
+namespace simcov::testmodel {
+
+struct TestModelOptions {
+  // ---- Figure 3(b) ladder switches (initial model = all true, 5-bit regs,
+  //      one-hot) ----
+  bool output_sync_latches = true;  ///< registered copies of every output
+  unsigned reg_addr_bits = 5;       ///< 5 = 32 registers, 2 = 4 registers
+  bool fetch_controller = true;     ///< IF stage FSM + IF/ID latch group
+  bool aux_outputs = true;  ///< datapath-control outputs (ALU op, mem size,
+                            ///< WB select) and the latches that carry them
+  bool onehot_opclass = true;       ///< one-hot vs binary stage class encoding
+  bool interlock_registers = true;  ///< redundant latched interlock results
+  // ---- Requirement ablations (not part of the ladder) ----
+  bool keep_dest_in_state = true;
+  bool expose_dest_outputs = true;
+  // ---- Scale reduction for explicit-tour experiments ----
+  bool reduced_isa = false;  ///< restrict to {nop, alu, load, store, branch}
+};
+
+struct BuiltTestModel {
+  sym::SequentialCircuit circuit;
+  unsigned num_latches = 0;
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  TestModelOptions options;
+};
+
+/// Builds the control test model netlist for the given options.
+BuiltTestModel build_dlx_control_model(const TestModelOptions& options = {});
+
+/// The abstraction ladder of Figure 3(b): initial model first, fully
+/// abstracted final model last. Labels quote the paper's step names.
+struct LadderStep {
+  std::string label;
+  TestModelOptions options;
+};
+
+std::vector<LadderStep> figure3b_ladder();
+
+}  // namespace simcov::testmodel

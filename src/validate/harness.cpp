@@ -1,0 +1,108 @@
+#include "validate/harness.hpp"
+
+#include <sstream>
+
+namespace simcov::validate {
+
+namespace {
+
+constexpr std::size_t kDataSize = 1u << 16;
+
+ValidationResult compare_traces(const std::vector<dlx::RetireInfo>& spec,
+                                const std::vector<dlx::RetireInfo>& impl,
+                                std::uint64_t impl_cycles) {
+  ValidationResult result;
+  result.impl_cycles = impl_cycles;
+  const std::size_t n = std::min(spec.size(), impl.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!(spec[k] == impl[k])) {
+      result.checkpoints_compared = k + 1;
+      result.divergence = Divergence{k, spec[k], impl[k]};
+      return result;
+    }
+  }
+  result.checkpoints_compared = n;
+  if (spec.size() != impl.size()) {
+    Divergence d;
+    d.index = n;
+    if (n < spec.size()) d.spec = spec[n];
+    if (n < impl.size()) d.impl = impl[n];
+    result.divergence = d;
+    return result;
+  }
+  result.passed = true;
+  return result;
+}
+
+}  // namespace
+
+ValidationResult run_validation(const ConcretizedProgram& program,
+                                const dlx::PipelineConfig& config,
+                                std::size_t max_cycles) {
+  const auto words = program.words();
+  dlx::IsaModel spec(words, kDataSize);
+  dlx::Pipeline impl(words, config, kDataSize);
+  for (unsigned r = 1; r < dlx::kNumRegisters; ++r) {
+    spec.set_reg(r, program.initial_regs[r]);
+    impl.set_reg(r, program.initial_regs[r]);
+  }
+  for (const auto& [addr, value] : program.memory_init) {
+    spec.poke_word(addr, value);
+    impl.poke_word(addr, value);
+  }
+  const auto spec_trace = spec.run(max_cycles);
+  std::vector<dlx::RetireInfo> impl_trace;
+  try {
+    impl_trace = impl.run(max_cycles);
+  } catch (const std::exception& e) {
+    // The implementation crashed mid-run (e.g. a bug corrupted a memory
+    // address): a detected error. Compare the prefix it produced is not
+    // recoverable from Pipeline::run, so report the crash directly.
+    ValidationResult result;
+    result.impl_cycles = impl.cycles();
+    result.impl_exception = e.what();
+    result.divergence = Divergence{};
+    return result;
+  }
+  return compare_traces(spec_trace, impl_trace, impl.cycles());
+}
+
+ValidationResult run_validation(const std::vector<dlx::Instruction>& program,
+                                const dlx::PipelineConfig& config,
+                                std::size_t max_cycles) {
+  ConcretizedProgram p;
+  p.instructions = program;
+  return run_validation(p, config, max_cycles);
+}
+
+std::string describe(const ValidationResult& result) {
+  std::ostringstream os;
+  if (result.passed) {
+    os << "PASS: " << result.checkpoints_compared
+       << " checkpoints compared in " << result.impl_cycles << " cycles";
+    return os.str();
+  }
+  if (result.impl_exception.has_value()) {
+    os << "FAIL: implementation crashed: " << *result.impl_exception;
+    return os.str();
+  }
+  os << "FAIL at checkpoint " << (result.divergence ? result.divergence->index
+                                                    : 0);
+  if (result.divergence) {
+    const auto& d = *result.divergence;
+    if (d.spec.has_value() && d.impl.has_value()) {
+      os << ": spec retired '" << dlx::disassemble(d.spec->ins)
+         << "' (pc=" << d.spec->pc << "), impl retired '"
+         << dlx::disassemble(d.impl->ins) << "' (pc=" << d.impl->pc << ")";
+    } else if (d.spec.has_value()) {
+      os << ": implementation stream ended early (spec continues with '"
+         << dlx::disassemble(d.spec->ins) << "')";
+    } else if (d.impl.has_value()) {
+      os << ": implementation retired extra '"
+         << dlx::disassemble(d.impl->ins) << "'";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace simcov::validate

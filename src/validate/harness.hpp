@@ -1,0 +1,51 @@
+// Implementation-validation harness (Figure 1 of the paper).
+//
+// Runs the ISA-level golden model and the pipelined implementation on the
+// same program and compares the RetireInfo checkpoint streams — the
+// "comparison at special checkpointing steps, e.g. at the completion of
+// each instruction" of Section 2. Any mismatch (differing record or
+// differing stream length) is a detected design error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dlx/isa_model.hpp"
+#include "dlx/pipeline.hpp"
+#include "validate/concretize.hpp"
+
+namespace simcov::validate {
+
+struct Divergence {
+  std::size_t index = 0;  ///< checkpoint number (retired-instruction index)
+  std::optional<dlx::RetireInfo> spec;  ///< nullopt: spec stream ended first
+  std::optional<dlx::RetireInfo> impl;  ///< nullopt: impl stream ended first
+};
+
+struct ValidationResult {
+  bool passed = false;
+  std::size_t checkpoints_compared = 0;
+  std::uint64_t impl_cycles = 0;
+  std::optional<Divergence> divergence;
+  /// Set when the implementation model crashed (e.g. a corrupted address
+  /// reached the memory stage). A crash counts as a detected error.
+  std::optional<std::string> impl_exception;
+};
+
+/// Runs both models on `program` (with shared memory/register presets) and
+/// compares checkpoints. `config` selects the implementation's injected bugs.
+ValidationResult run_validation(const ConcretizedProgram& program,
+                                const dlx::PipelineConfig& config = {},
+                                std::size_t max_cycles = 1u << 20);
+
+/// Same, for a raw instruction vector with no presets.
+ValidationResult run_validation(const std::vector<dlx::Instruction>& program,
+                                const dlx::PipelineConfig& config = {},
+                                std::size_t max_cycles = 1u << 20);
+
+/// One-line human-readable summary of a result.
+std::string describe(const ValidationResult& result);
+
+}  // namespace simcov::validate

@@ -1,0 +1,264 @@
+// Tests for homomorphic abstraction: quotient machines, output-error
+// uniformity (Requirement 1), variable projection, and ∀k inheritance.
+#include "abstraction/abstraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distinguish/distinguish.hpp"
+
+namespace simcov::abstraction {
+namespace {
+
+using errmodel::ErrorKind;
+using errmodel::Mutation;
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::StateId;
+
+TEST(StateAbstractionTest, ValidatesSurjectivity) {
+  EXPECT_THROW(StateAbstraction({0, 0, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(StateAbstraction({0, 5}, 2), std::invalid_argument);
+  EXPECT_NO_THROW(StateAbstraction({0, 1, 0}, 2));
+}
+
+TEST(StateAbstractionTest, PreimagesAreInverse) {
+  const StateAbstraction abs({0, 1, 0, 1}, 2);
+  EXPECT_EQ(abs.apply(2), 0u);
+  const auto pre0 = abs.preimage(0);
+  EXPECT_EQ(std::vector<StateId>(pre0.begin(), pre0.end()),
+            (std::vector<StateId>{0, 2}));
+  EXPECT_EQ(abs.num_concrete(), 4u);
+  EXPECT_EQ(abs.num_abstract(), 2u);
+}
+
+TEST(StateAbstractionTest, IdentityMapsEachToItself) {
+  const auto id = StateAbstraction::identity(3);
+  for (StateId s = 0; s < 3; ++s) {
+    EXPECT_EQ(id.apply(s), s);
+    EXPECT_EQ(id.preimage(s).size(), 1u);
+  }
+}
+
+TEST(Quotient, TransitionsAreImagesOfConcreteOnes) {
+  // 4-state machine; merge {0,2} and {1,3}.
+  MealyMachine m(4, 1);
+  m.set_transition(0, 0, 1, 10);
+  m.set_transition(1, 0, 2, 11);
+  m.set_transition(2, 0, 3, 10);
+  m.set_transition(3, 0, 0, 11);
+  const StateAbstraction abs({0, 1, 0, 1}, 2);
+  const auto q = quotient_machine(m, abs);
+  EXPECT_EQ(q.num_states(), 2u);
+  // Both concrete transitions from {0,2} go to abstract 1 with output 10:
+  // the quotient is deterministic here.
+  ASSERT_EQ(q.transitions(0, 0).size(), 1u);
+  EXPECT_EQ(q.transitions(0, 0)[0].next, 1u);
+  EXPECT_EQ(q.transitions(0, 0)[0].output, 10u);
+  EXPECT_TRUE(q.is_deterministic());
+  EXPECT_EQ(q.initial_state(), abs.apply(m.initial_state()));
+}
+
+TEST(Quotient, MergingBehaviourallyDifferentStatesGivesNondeterminism) {
+  MealyMachine m(3, 1);
+  m.set_transition(0, 0, 1, 0);
+  m.set_transition(1, 0, 2, 1);
+  m.set_transition(2, 0, 0, 2);  // outputs differ per state
+  const StateAbstraction abs({0, 0, 1}, 2);  // merge 0 and 1
+  const auto q = quotient_machine(m, abs);
+  EXPECT_FALSE(q.is_deterministic());
+  EXPECT_TRUE(q.has_output_nondeterminism());
+}
+
+TEST(Quotient, DomainMismatchThrows) {
+  MealyMachine m(3, 1);
+  const StateAbstraction abs({0, 1}, 2);
+  EXPECT_THROW((void)quotient_machine(m, abs), std::invalid_argument);
+  EXPECT_THROW((void)analyze_abstraction(m, abs), std::invalid_argument);
+}
+
+TEST(Analyze, ReportsOutputNondeterminismPairs) {
+  MealyMachine m(3, 2);
+  // States 0,1 merged; they differ in output on input 0 but agree on 1.
+  m.set_transition(0, 0, 2, 0);
+  m.set_transition(1, 0, 2, 1);
+  m.set_transition(0, 1, 2, 7);
+  m.set_transition(1, 1, 2, 7);
+  m.set_transition(2, 0, 0, 9);
+  m.set_transition(2, 1, 1, 9);
+  const StateAbstraction abs({0, 0, 1}, 2);
+  const auto report = analyze_abstraction(m, abs);
+  EXPECT_FALSE(report.output_deterministic);
+  ASSERT_EQ(report.nondet_output_pairs.size(), 1u);
+  EXPECT_EQ(report.nondet_output_pairs[0], (fsm::TransitionRef{0, 0}));
+}
+
+TEST(Analyze, RestrictedToReachablePart) {
+  MealyMachine m(4, 1);
+  m.set_transition(0, 0, 0, 5);
+  // Unreachable pair that would conflict if counted:
+  m.set_transition(1, 0, 0, 6);
+  m.set_transition(2, 0, 0, 7);
+  m.set_transition(3, 0, 3, 7);
+  const StateAbstraction abs({0, 0, 0, 1}, 2);  // merge 0,1,2
+  const auto report = analyze_abstraction(m, abs);
+  // Only state 0 is reachable, so no observable nondeterminism.
+  EXPECT_TRUE(report.output_deterministic);
+  EXPECT_TRUE(report.deterministic);
+}
+
+// ---------------------------------------------------------------------------
+// Requirement 1: uniformity of output errors through abstraction.
+// This reconstructs the paper's interlock example in miniature: when the
+// distinguishing state bit is abstracted away, the error is visible only
+// from some merged states -> non-uniform.
+// ---------------------------------------------------------------------------
+
+TEST(Uniformity, SingleStatePreimageIsUniform) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 0);
+  m.set_transition(1, 0, 0, 1);
+  const Mutation mut{ErrorKind::kOutput, {0, 0}, 0, 9};
+  const auto id = StateAbstraction::identity(2);
+  EXPECT_EQ(classify_output_error(m, mut, id, 0), OutputErrorClass::kUniform);
+}
+
+TEST(Uniformity, MergedPreimageMakesErrorNonUniform) {
+  // Concrete states 0 and 2 merge; the error lives only on (0, input 0).
+  MealyMachine m(3, 1);
+  m.set_transition(0, 0, 1, 4);
+  m.set_transition(1, 0, 2, 5);
+  m.set_transition(2, 0, 0, 4);  // same output as (0,0): clean twin
+  const Mutation mut{ErrorKind::kOutput, {0, 0}, 0, 9};
+  const StateAbstraction abs({0, 1, 0}, 2);
+  EXPECT_EQ(classify_output_error(m, mut, abs, 0),
+            OutputErrorClass::kNonUniform);
+  // Keeping the distinguishing state separate restores uniformity.
+  const auto id = StateAbstraction::identity(3);
+  EXPECT_EQ(classify_output_error(m, mut, id, 0), OutputErrorClass::kUniform);
+}
+
+TEST(Uniformity, UnreachableTwinDoesNotCount) {
+  MealyMachine m(3, 1);
+  m.set_transition(0, 0, 0, 4);
+  m.set_transition(1, 0, 1, 4);  // unreachable twin of 0
+  m.set_transition(2, 0, 2, 0);
+  const Mutation mut{ErrorKind::kOutput, {0, 0}, 0, 9};
+  const StateAbstraction abs({0, 0, 1}, 2);
+  EXPECT_EQ(classify_output_error(m, mut, abs, 0), OutputErrorClass::kUniform);
+}
+
+TEST(Uniformity, TransferMutationRejected) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 0);
+  m.set_transition(1, 0, 0, 1);
+  const Mutation mut{ErrorKind::kTransfer, {0, 0}, 0, 0};
+  EXPECT_THROW((void)classify_output_error(m, mut,
+                                           StateAbstraction::identity(2), 0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Variable projection
+// ---------------------------------------------------------------------------
+
+TEST(VariableProjection, ProjectsBits) {
+  const std::vector<unsigned> kept{0, 2};
+  const auto abs = variable_projection(3, kept);
+  EXPECT_EQ(abs.num_concrete(), 8u);
+  EXPECT_EQ(abs.num_abstract(), 4u);
+  // state 0b110 keeps bits {0,2} -> (bit0=0, bit2=1) -> 0b10.
+  EXPECT_EQ(abs.apply(0b110), 0b10u);
+  EXPECT_EQ(abs.apply(0b011), 0b01u);
+  // Preimage of each abstract state has 2^(3-2) elements.
+  for (StateId a = 0; a < 4; ++a) EXPECT_EQ(abs.preimage(a).size(), 2u);
+}
+
+TEST(VariableProjection, KeepAllIsIdentityUpToBitOrder) {
+  const std::vector<unsigned> kept{0, 1};
+  const auto abs = variable_projection(2, kept);
+  for (StateId s = 0; s < 4; ++s) EXPECT_EQ(abs.apply(s), s);
+}
+
+TEST(VariableProjection, Validation) {
+  const std::vector<unsigned> bad{5};
+  EXPECT_THROW((void)variable_projection(3, bad), std::invalid_argument);
+  const std::vector<unsigned> ok{0};
+  EXPECT_THROW((void)variable_projection(40, ok), std::invalid_argument);
+}
+
+TEST(Compose, LaddersCompose) {
+  // 3 bits -> keep {0,1} -> keep {1} (of the 2 remaining).
+  const std::vector<unsigned> step1{0, 1};
+  const std::vector<unsigned> step2{1};
+  const auto a1 = variable_projection(3, step1);
+  const auto a2 = variable_projection(2, step2);
+  const auto ladder = compose(a1, a2);
+  EXPECT_EQ(ladder.num_concrete(), 8u);
+  EXPECT_EQ(ladder.num_abstract(), 2u);
+  // Final bit is original bit 1.
+  EXPECT_EQ(ladder.apply(0b010), 1u);
+  EXPECT_EQ(ladder.apply(0b101), 0u);
+}
+
+TEST(Compose, MismatchThrows) {
+  const auto a = StateAbstraction::identity(4);
+  const auto b = StateAbstraction::identity(3);
+  EXPECT_THROW((void)compose(a, b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Section 6.2: ∀k-distinguishability is inherited by abstraction.
+// If the quotient is deterministic and all distinct concrete states are
+// ∀k-distinguishable, then distinct abstract states are too. Verified
+// empirically on random machines with exact (bisimulation-respecting)
+// abstractions.
+// ---------------------------------------------------------------------------
+
+class InheritanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InheritanceProperty, ForallKSurvivesExactAbstraction) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  // Build a concrete machine as two copies of a base machine: state s and
+  // s + n behave identically -> merging copies is an exact abstraction.
+  const MealyMachine base = fsm::random_connected_machine(5, 2, 5, seed);
+  const StateId n = base.num_states();
+  MealyMachine doubled(2 * n, base.num_inputs());
+  for (StateId s = 0; s < n; ++s) {
+    for (InputId i = 0; i < base.num_inputs(); ++i) {
+      const auto t = base.transition(s, i).value();
+      // Copy A feeds into copy B and vice versa, keeping both reachable.
+      doubled.set_transition(s, i, t.next + n, t.output);
+      doubled.set_transition(s + n, i, t.next, t.output);
+    }
+  }
+  std::vector<StateId> map(2 * n);
+  for (StateId s = 0; s < 2 * n; ++s) map[s] = s % n;
+  const StateAbstraction abs(std::move(map), n);
+  const auto q = quotient_machine(doubled, abs).to_deterministic();
+  ASSERT_TRUE(q.has_value());
+  for (unsigned k = 1; k <= 3; ++k) {
+    for (StateId a = 0; a < n; ++a) {
+      for (StateId b = a + 1; b < n; ++b) {
+        // If every concrete preimage pair is ∀k-distinguishable, the
+        // abstract pair must be as well (Section 6.2).
+        bool all_concrete = true;
+        for (StateId ca : abs.preimage(a)) {
+          for (StateId cb : abs.preimage(b)) {
+            all_concrete = all_concrete &&
+                           distinguish::forall_k_distinguishable(doubled, ca,
+                                                                 cb, k);
+          }
+        }
+        if (all_concrete) {
+          EXPECT_TRUE(distinguish::forall_k_distinguishable(*q, a, b, k))
+              << "pair (" << a << "," << b << ") at k=" << k;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InheritanceProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace simcov::abstraction

@@ -1,0 +1,227 @@
+// Tests for the methodology core: requirement assessment, over-abstraction
+// quotient analysis (Requirement 1), mutant-coverage evaluation, and the
+// end-to-end validation campaign.
+#include "core/campaign.hpp"
+#include "core/requirements.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sym/symbolic_fsm.hpp"
+#include "tour/tour.hpp"
+
+namespace simcov::core {
+namespace {
+
+testmodel::TestModelOptions tiny_model_options() {
+  testmodel::TestModelOptions opt;
+  opt.output_sync_latches = false;
+  opt.fetch_controller = false;
+  opt.aux_outputs = false;
+  opt.onehot_opclass = false;
+  opt.interlock_registers = false;
+  opt.reg_addr_bits = 1;
+  opt.reduced_isa = true;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Requirements
+// ---------------------------------------------------------------------------
+
+TEST(Requirements, TinyControlModelAssessment) {
+  const auto model = testmodel::build_dlx_control_model(tiny_model_options());
+  const auto em = sym::extract_explicit(model.circuit, 20000);
+  ASSERT_FALSE(em.truncated);
+  const auto report =
+      assess_requirements(em.machine, 0, model.options, /*max_k=*/6,
+                          /*mutant_sample=*/30, /*probe_length=*/100);
+  EXPECT_TRUE(report.r5_interaction_state_observable);
+  EXPECT_TRUE(report.r1_deterministic_outputs);
+  // Masking should be rare on a model with observable interaction state.
+  EXPECT_LE(report.r4_masked_fraction, 0.3);
+}
+
+TEST(Requirements, Req5AblationFlagged) {
+  auto opt = tiny_model_options();
+  opt.expose_dest_outputs = false;
+  const auto model = testmodel::build_dlx_control_model(opt);
+  const auto em = sym::extract_explicit(model.circuit, 20000);
+  const auto report = assess_requirements(em.machine, 0, model.options, 4,
+                                          10, 50);
+  EXPECT_FALSE(report.r5_interaction_state_observable);
+}
+
+TEST(Requirements, ForallKOnFavourableMachine) {
+  // Unique outputs per (state, input): ∀1-distinguishable.
+  fsm::MealyMachine m(3, 2);
+  for (fsm::StateId s = 0; s < 3; ++s) {
+    for (fsm::InputId i = 0; i < 2; ++i) {
+      m.set_transition(s, i, (s + i + 1) % 3, s * 2 + i);
+    }
+  }
+  testmodel::TestModelOptions opt;  // irrelevant except observability flags
+  const auto report = assess_requirements(m, 0, opt, 4, 10, 50);
+  EXPECT_EQ(report.forall_k, std::optional<unsigned>(1));
+}
+
+// ---------------------------------------------------------------------------
+// Projection (Requirement 1 ablation)
+// ---------------------------------------------------------------------------
+
+TEST(Projection, DroppingDestLatchesBreaksOutputDeterminism) {
+  const auto model = testmodel::build_dlx_control_model(tiny_model_options());
+  const auto em = sym::extract_explicit(model.circuit, 20000);
+  ASSERT_FALSE(em.truncated);
+  // Identity projection: nothing dropped, quotient deterministic.
+  const std::vector<std::string> none;
+  const auto id_report = analyze_projection(em, model, none);
+  EXPECT_EQ(id_report.dropped_latches, 0u);
+  EXPECT_TRUE(id_report.output_deterministic);
+  EXPECT_EQ(id_report.abstract_states, em.machine.num_states());
+
+  // Dropping the destination-register addresses merges states that the
+  // interlock/forwarding outputs depend on: the paper's "abstracting too
+  // much" example, producing output nondeterminism (Requirement 1 hazard).
+  const std::vector<std::string> drop{"ex_dest", "mem_dest", "wb_dest"};
+  const auto report = analyze_projection(em, model, drop);
+  EXPECT_EQ(report.dropped_latches, 3u);  // 1 bit each at R=1
+  EXPECT_LT(report.abstract_states, em.machine.num_states());
+  EXPECT_FALSE(report.output_deterministic);
+  EXPECT_GT(report.output_nondet_pairs, 0u);
+}
+
+TEST(Projection, DroppingDeadLatchesIsExact) {
+  // The squash_pending latch correlates with other state only in ways that
+  // keep behaviour deterministic? Not necessarily — use a latch that is
+  // genuinely redundant: build with interlock registers and drop them.
+  auto opt = tiny_model_options();
+  opt.interlock_registers = true;
+  const auto model = testmodel::build_dlx_control_model(opt);
+  const auto em = sym::extract_explicit(model.circuit, 50000);
+  ASSERT_FALSE(em.truncated);
+  const std::vector<std::string> drop{"r_"};
+  const auto report = analyze_projection(em, model, drop);
+  EXPECT_EQ(report.dropped_latches, 12u);
+  // Redundant latches: quotient stays fully deterministic.
+  EXPECT_TRUE(report.deterministic);
+  EXPECT_TRUE(report.output_deterministic);
+}
+
+TEST(Projection, MismatchedModelThrows) {
+  const auto model_a = testmodel::build_dlx_control_model(tiny_model_options());
+  auto opt = tiny_model_options();
+  opt.reg_addr_bits = 2;
+  const auto model_b = testmodel::build_dlx_control_model(opt);
+  const auto em = sym::extract_explicit(model_a.circuit, 20000);
+  const std::vector<std::string> none;
+  EXPECT_THROW((void)analyze_projection(em, model_b, none),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Mutant coverage (Theorem 3 apparatus)
+// ---------------------------------------------------------------------------
+
+TEST(MutantCoverage, TransitionTourBeatsBaselines) {
+  const auto model = testmodel::build_dlx_control_model(tiny_model_options());
+  const auto em = sym::extract_explicit(model.circuit, 20000);
+  ASSERT_FALSE(em.truncated);
+
+  MutantCoverageOptions tt;
+  tt.method = TestMethod::kTransitionTourSet;
+  tt.k_extension = 5;
+  tt.mutant_sample = 150;
+  const auto tour_result = evaluate_mutant_coverage(em.machine, 0, tt);
+  EXPECT_EQ(tour_result.mutants, 150u);
+
+  MutantCoverageOptions st = tt;
+  st.method = TestMethod::kStateTour;
+  const auto state_result = evaluate_mutant_coverage(em.machine, 0, st);
+
+  MutantCoverageOptions rw = tt;
+  rw.method = TestMethod::kRandomWalk;
+  rw.random_length = state_result.test_length;  // equal length budget
+  const auto random_result = evaluate_mutant_coverage(em.machine, 0, rw);
+
+  // The transition tour exposes the most mutants; the state tour and the
+  // random walk miss transitions they never exercise.
+  EXPECT_GE(tour_result.exposure_rate(), 0.85);
+  EXPECT_GT(tour_result.exposure_rate(), state_result.exposure_rate());
+  EXPECT_GE(tour_result.exposure_rate(), random_result.exposure_rate());
+}
+
+TEST(MutantCoverage, ExcitedButUnexposedWithoutExtension) {
+  // On the favourable ∀1 machine, the tour plus 1-step extension exposes
+  // every mutant (Theorem 1); without the extension the final transition's
+  // transfer errors can escape.
+  fsm::MealyMachine m(4, 2);
+  for (fsm::StateId s = 0; s < 4; ++s) {
+    for (fsm::InputId i = 0; i < 2; ++i) {
+      m.set_transition(s, i, (s + i + 1) % 4, s * 2 + i);
+    }
+  }
+  MutantCoverageOptions with;
+  with.method = TestMethod::kTransitionTourSet;
+  with.k_extension = 1;
+  with.mutant_sample = 1000;  // all mutants of this small machine
+  const auto full = evaluate_mutant_coverage(m, 0, with);
+  EXPECT_DOUBLE_EQ(full.exposure_rate(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Full campaign
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, TransitionTourCampaignExposesControlBugs) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kTransitionTourSet;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+      dlx::PipelineBug::kNoForwardExMemA,
+      dlx::PipelineBug::kNoForwardMemWbA,
+      dlx::PipelineBug::kInterlockChecksRs1Only,
+  };
+  const auto result = run_campaign(options, bugs);
+  EXPECT_TRUE(result.clean_pass);
+  EXPECT_FALSE(result.model_truncated);
+  EXPECT_DOUBLE_EQ(result.transition_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.state_coverage, 1.0);
+  EXPECT_EQ(result.bugs_exposed(), bugs.size())
+      << "the transition-tour campaign must expose every injected bug";
+  EXPECT_GT(result.total_instructions, 100u);
+}
+
+TEST(Campaign, RandomCampaignWeakerThanTour) {
+  CampaignOptions tour_options;
+  tour_options.model_options = tiny_model_options();
+  tour_options.method = TestMethod::kTransitionTourSet;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+      dlx::PipelineBug::kNoForwardExMemA,
+      dlx::PipelineBug::kInterlockChecksRs1Only,
+      dlx::PipelineBug::kStoreDataStale,
+      dlx::PipelineBug::kBranchUsesStaleCondition,
+  };
+  const auto tour_result = run_campaign(tour_options, bugs);
+
+  CampaignOptions random_options = tour_options;
+  random_options.method = TestMethod::kRandomWalk;
+  random_options.random_length = 60;  // short random sim: the usual baseline
+  const auto random_result = run_campaign(random_options, bugs);
+
+  EXPECT_GE(tour_result.bugs_exposed(), random_result.bugs_exposed());
+  EXPECT_LT(random_result.transition_coverage, 1.0);
+}
+
+TEST(Campaign, MethodNames) {
+  EXPECT_STREQ(method_name(TestMethod::kTransitionTourSet),
+               "transition-tour");
+  EXPECT_STREQ(method_name(TestMethod::kStateTour), "state-tour");
+  EXPECT_STREQ(method_name(TestMethod::kRandomWalk), "random-walk");
+}
+
+}  // namespace
+}  // namespace simcov::core

@@ -1,0 +1,357 @@
+// Tests for ∀k-distinguishability (Definition 5), classical equivalence,
+// distinguishing sequences and UIO search.
+#include "distinguish/distinguish.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace simcov::distinguish {
+namespace {
+
+using fsm::InputId;
+using fsm::MealyMachine;
+using fsm::StateId;
+
+/// Outputs unique per (state, input): out = s * num_inputs + i. Any single
+/// input separates any two states, so ∀1-distinguishability holds.
+MealyMachine forall1_machine() {
+  MealyMachine m(3, 2);
+  for (StateId s = 0; s < 3; ++s) {
+    for (InputId i = 0; i < 2; ++i) {
+      m.set_transition(s, i, (s + i + 1) % 3, s * 2 + i);
+    }
+  }
+  return m;
+}
+
+/// States 0 and 1 produce the same outputs on input 0 but different on
+/// input 1: ∃-distinguishable, NOT ∀1-distinguishable.
+MealyMachine exists_only_machine() {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 0, 1, 5);
+  m.set_transition(1, 0, 0, 5);  // same output as (0,0)
+  m.set_transition(0, 1, 0, 0);
+  m.set_transition(1, 1, 1, 1);  // differs
+  return m;
+}
+
+TEST(ForallK, Forall1MachineSatisfiesK1) {
+  const MealyMachine m = forall1_machine();
+  EXPECT_TRUE(forall_k_distinguishable(m, 0, 1, 1));
+  EXPECT_TRUE(forall_k_distinguishable(m, 1, 2, 1));
+  EXPECT_TRUE(satisfies_forall_k(m, 0, 1));
+}
+
+TEST(ForallK, StateNeverDistinguishesFromItself) {
+  const MealyMachine m = forall1_machine();
+  EXPECT_FALSE(forall_k_distinguishable(m, 1, 1, 1));
+  EXPECT_FALSE(forall_k_distinguishable(m, 1, 1, 5));
+}
+
+TEST(ForallK, ExistsOnlyPairFailsForall1) {
+  const MealyMachine m = exists_only_machine();
+  EXPECT_FALSE(forall_k_distinguishable(m, 0, 1, 1));
+  EXPECT_FALSE(satisfies_forall_k(m, 0, 1));
+  // But the states are classically distinguishable.
+  EXPECT_TRUE(distinguishing_sequence(m, 0, 1).has_value());
+}
+
+TEST(ForallK, MonotoneInK) {
+  // ∀k implies ∀(k+1): check on a machine that needs k=2.
+  // States 0,1: input 0 gives equal outputs but moves to 2 vs 3 which
+  // differ on every input.
+  MealyMachine m(4, 2);
+  m.set_transition(0, 0, 2, 0);
+  m.set_transition(1, 0, 3, 0);
+  m.set_transition(0, 1, 2, 1);
+  m.set_transition(1, 1, 3, 2);  // differs: input 1 distinguishes 0,1
+  // States 2 and 3: unique outputs on both inputs.
+  m.set_transition(2, 0, 0, 10);
+  m.set_transition(3, 0, 0, 11);
+  m.set_transition(2, 1, 1, 12);
+  m.set_transition(3, 1, 1, 13);
+  // Pair (0,1): sequence <0> does not distinguish => not ∀1.
+  EXPECT_FALSE(forall_k_distinguishable(m, 0, 1, 1));
+  // All length-2 sequences distinguish: <0,*> reaches (2,3) which differ on
+  // anything; <1,*> differs at step one.
+  EXPECT_TRUE(forall_k_distinguishable(m, 0, 1, 2));
+  EXPECT_TRUE(forall_k_distinguishable(m, 0, 1, 3));  // monotone
+  EXPECT_EQ(min_forall_k(m, 0, 5), std::optional<unsigned>(2));
+}
+
+TEST(ForallK, BehaviourallyEquivalentPairNeverForallK) {
+  // A two-state swap cycle with constant output: the states are
+  // behaviourally identical and both reachable.
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 7);
+  m.set_transition(1, 0, 0, 7);
+  EXPECT_FALSE(forall_k_distinguishable(m, 0, 1, 1));
+  EXPECT_FALSE(forall_k_distinguishable(m, 0, 1, 4));
+  EXPECT_FALSE(min_forall_k(m, 0, 6).has_value());
+}
+
+TEST(ForallK, DeadEndPairIsConservativelyIndistinguishable) {
+  MealyMachine m(2, 1);  // no transitions at all
+  EXPECT_FALSE(forall_k_distinguishable(m, 0, 1, 1));
+}
+
+TEST(ForallK, DefinednessMismatchDistinguishes) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 0, 0);  // state 1 has no transition on 0
+  EXPECT_TRUE(forall_k_distinguishable(m, 0, 1, 1));
+}
+
+TEST(ForallK, TableIsSymmetricWithTrueDiagonal) {
+  const MealyMachine m = exists_only_machine();
+  const PairTable table = forall_k_equal_table(m, 2);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    EXPECT_TRUE(table.get(s, s));
+    for (StateId t = 0; t < m.num_states(); ++t) {
+      EXPECT_EQ(table.get(s, t), table.get(t, s));
+    }
+  }
+}
+
+TEST(ForallK, OutOfRangeThrows) {
+  const MealyMachine m = forall1_machine();
+  EXPECT_THROW((void)forall_k_distinguishable(m, 0, 9, 1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Classical equivalence
+// ---------------------------------------------------------------------------
+
+TEST(EquivClasses, MergesBehaviourallyIdenticalStates) {
+  MealyMachine m(3, 1);
+  m.set_transition(0, 0, 1, 5);
+  m.set_transition(1, 0, 0, 5);
+  m.set_transition(2, 0, 1, 5);  // state 2 behaves like state 0
+  const auto cls = equivalence_classes(m);
+  EXPECT_EQ(cls[0], cls[2]);
+  EXPECT_EQ(cls[0], cls[1]);  // all same outputs forever: one class
+}
+
+TEST(EquivClasses, SeparatesByOutput) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 0, 1);
+  m.set_transition(1, 0, 1, 2);
+  const auto cls = equivalence_classes(m);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(EquivClasses, SeparatesBySuccessorBehaviour) {
+  // Same immediate outputs; successors differ.
+  MealyMachine m(4, 1);
+  m.set_transition(0, 0, 2, 0);
+  m.set_transition(1, 0, 3, 0);
+  m.set_transition(2, 0, 2, 5);
+  m.set_transition(3, 0, 3, 6);
+  const auto cls = equivalence_classes(m);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(EquivClasses, PartialityMatters) {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 0, 0, 1);
+  m.set_transition(1, 0, 1, 1);
+  m.set_transition(1, 1, 1, 1);  // state 0 lacks input 1
+  const auto cls = equivalence_classes(m);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(DistSeq, ShortestSequenceReturned) {
+  const MealyMachine m = exists_only_machine();
+  const auto seq = distinguishing_sequence(m, 0, 1);
+  ASSERT_TRUE(seq.has_value());
+  EXPECT_EQ(seq->size(), 1u);
+  EXPECT_EQ((*seq)[0], 1u);
+  EXPECT_NE(m.run(*seq, 0), m.run(*seq, 1));
+}
+
+TEST(DistSeq, EquivalentStatesHaveNone) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 3);
+  m.set_transition(1, 0, 0, 3);
+  EXPECT_FALSE(distinguishing_sequence(m, 0, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+TEST(Minimize, MergesEquivalentStates) {
+  // 4 states; 2 and 3 behave like 0 and 1.
+  MealyMachine m(4, 1);
+  m.set_transition(0, 0, 1, 5);
+  m.set_transition(1, 0, 2, 6);
+  m.set_transition(2, 0, 3, 5);  // like state 0
+  m.set_transition(3, 0, 0, 6);  // like state 1
+  const auto r = minimize(m, 0);
+  EXPECT_EQ(r.machine.num_states(), 2u);
+  EXPECT_EQ(r.state_map[0], r.state_map[2]);
+  EXPECT_EQ(r.state_map[1], r.state_map[3]);
+  // Behaviour is preserved from reset.
+  EXPECT_TRUE(fsm::check_equivalence(m, 0, r.machine,
+                                     r.machine.initial_state())
+                  .equivalent);
+}
+
+TEST(Minimize, DropsUnreachableStates) {
+  MealyMachine m(3, 1);
+  m.set_transition(0, 0, 0, 1);
+  m.set_transition(1, 0, 2, 2);  // unreachable island
+  m.set_transition(2, 0, 1, 3);
+  const auto r = minimize(m, 0);
+  EXPECT_EQ(r.machine.num_states(), 1u);
+  EXPECT_EQ(r.state_map[1], MinimizationResult::kUnmapped);
+  EXPECT_EQ(r.state_map[2], MinimizationResult::kUnmapped);
+}
+
+TEST(Minimize, AlreadyMinimalIsIsomorphic) {
+  const MealyMachine m = forall1_machine();
+  const auto r = minimize(m, 0);
+  EXPECT_EQ(r.machine.num_states(), m.num_states());
+  EXPECT_TRUE(fsm::check_equivalence(m, 0, r.machine,
+                                     r.machine.initial_state())
+                  .equivalent);
+}
+
+TEST(Minimize, PreservesPartiality) {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 0, 1, 1);
+  m.set_transition(1, 0, 0, 2);
+  m.set_transition(0, 1, 0, 3);  // input 1 defined only in state 0
+  const auto r = minimize(m, 0);
+  EXPECT_EQ(r.machine.num_states(), 2u);
+  EXPECT_FALSE(
+      r.machine.transition(r.state_map[1], 1).has_value());
+}
+
+TEST(Minimize, MinimizedMachineHasNoEquivalentPairs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const MealyMachine m = fsm::random_connected_machine(10, 2, 2, seed);
+    const auto r = minimize(m, 0);
+    const auto cls = equivalence_classes(r.machine);
+    for (StateId s = 0; s < r.machine.num_states(); ++s) {
+      for (StateId t = s + 1; t < r.machine.num_states(); ++t) {
+        EXPECT_NE(cls[s], cls[t]) << "seed " << seed;
+      }
+    }
+    EXPECT_TRUE(fsm::check_equivalence(m, 0, r.machine,
+                                       r.machine.initial_state())
+                    .equivalent);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UIO
+// ---------------------------------------------------------------------------
+
+TEST(Uio, UniqueOutputGivesLengthOneUio) {
+  const MealyMachine m = forall1_machine();
+  for (StateId s = 0; s < 3; ++s) {
+    const auto uio = find_uio(m, s, 0, 4);
+    ASSERT_TRUE(uio.has_value());
+    EXPECT_EQ(uio->size(), 1u);
+  }
+}
+
+/// Four states, all reachable from 0. On input 0 states 0,1 share outputs
+/// but their successors 2,3 separate; input 1 is an output-silent shuffle
+/// keeping everything reachable.
+MealyMachine shared_output_machine() {
+  MealyMachine m(4, 2);
+  m.set_transition(0, 0, 2, 0);
+  m.set_transition(1, 0, 3, 0);
+  m.set_transition(2, 0, 2, 5);
+  m.set_transition(3, 0, 3, 6);
+  m.set_transition(0, 1, 1, 9);
+  m.set_transition(1, 1, 0, 9);
+  m.set_transition(2, 1, 2, 9);
+  m.set_transition(3, 1, 3, 9);
+  return m;
+}
+
+TEST(Uio, NeedsTwoStepsWhenOutputsShared) {
+  const MealyMachine m = shared_output_machine();
+  const auto uio = find_uio(m, 0, 0, 4);
+  ASSERT_TRUE(uio.has_value());
+  EXPECT_EQ(uio->size(), 2u);
+  // Verify the defining property directly against states 2,3 as well.
+  const auto reachable = m.reachable_states(0);
+  for (StateId t = 0; t < 4; ++t) {
+    if (t == 0 || !reachable[t]) continue;
+    EXPECT_NE(m.run(*uio, 0), m.run(*uio, t)) << "state " << t;
+  }
+}
+
+TEST(Uio, NoneWhenStatesEquivalent) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 3);
+  m.set_transition(1, 0, 0, 3);
+  EXPECT_FALSE(find_uio(m, 0, 0, 6).has_value());
+}
+
+TEST(Uio, RespectsLengthBound) {
+  // UIO for state 0 requires 2 steps; bound of 1 must fail.
+  const MealyMachine m = shared_output_machine();
+  EXPECT_FALSE(find_uio(m, 0, 0, 1).has_value());
+  EXPECT_TRUE(find_uio(m, 0, 0, 2).has_value());
+}
+
+TEST(Uio, UnreachableStateHasNoUio) {
+  MealyMachine m(2, 1);
+  m.set_transition(0, 0, 0, 0);
+  m.set_transition(1, 0, 1, 9);
+  EXPECT_FALSE(find_uio(m, 1, 0, 4).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation property: for random machines, the ∀k table at a large k
+// agrees with classical equivalence on which pairs are separable at all, and
+// any UIO found truly separates its state from all others.
+// ---------------------------------------------------------------------------
+
+class DistinguishProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistinguishProperty, UioAndEquivalenceAgree) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const MealyMachine m = fsm::random_connected_machine(7, 2, 3, seed);
+  const auto cls = equivalence_classes(m);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    const auto uio = find_uio(m, s, 0, 8);
+    if (!uio.has_value()) continue;
+    for (StateId t = 0; t < m.num_states(); ++t) {
+      if (t == s) continue;
+      // A UIO separates s from every *reachable* other state; in particular
+      // no reachable state can be behaviourally equivalent to s.
+      if (m.reachable_states(0)[t]) {
+        EXPECT_NE(cls[s], cls[t]);
+        EXPECT_NE(m.run(*uio, s), m.run(*uio, t));
+      }
+    }
+  }
+}
+
+TEST_P(DistinguishProperty, ForallKImpliesExistsDistinguishing) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 50;
+  const MealyMachine m = fsm::random_connected_machine(6, 2, 2, seed);
+  for (unsigned k = 1; k <= 3; ++k) {
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      for (StateId t = 0; t < m.num_states(); ++t) {
+        if (s == t) continue;
+        if (forall_k_distinguishable(m, s, t, k)) {
+          EXPECT_TRUE(distinguishing_sequence(m, s, t).has_value())
+              << "∀" << k << "-dist pair (" << s << "," << t
+              << ") must be ∃-distinguishable";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistinguishProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace simcov::distinguish

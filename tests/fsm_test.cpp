@@ -1,0 +1,272 @@
+// Tests for explicit Mealy machines: construction, simulation, reachability,
+// equivalence checking, and the nondeterministic variant used by abstraction.
+#include "fsm/mealy.hpp"
+#include "fsm/nondet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace simcov::fsm {
+namespace {
+
+/// A small two-state toggle machine: input 0 toggles (output = new state id),
+/// input 1 holds (output 2).
+MealyMachine toggle_machine() {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 0, 1, 1);
+  m.set_transition(1, 0, 0, 0);
+  m.set_transition(0, 1, 0, 2);
+  m.set_transition(1, 1, 1, 2);
+  return m;
+}
+
+TEST(Mealy, ConstructionAndAccessors) {
+  MealyMachine m(3, 2);
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_EQ(m.num_inputs(), 2u);
+  EXPECT_FALSE(m.is_complete());
+  EXPECT_EQ(m.num_defined_transitions(), 0u);
+  EXPECT_FALSE(m.transition(0, 0).has_value());
+}
+
+TEST(Mealy, SetAndClearTransitions) {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 1, 1, 7);
+  ASSERT_TRUE(m.transition(0, 1).has_value());
+  EXPECT_EQ(m.transition(0, 1)->next, 1u);
+  EXPECT_EQ(m.transition(0, 1)->output, 7u);
+  EXPECT_EQ(m.num_defined_transitions(), 1u);
+  // Redefining doesn't double-count.
+  m.set_transition(0, 1, 0, 3);
+  EXPECT_EQ(m.num_defined_transitions(), 1u);
+  m.clear_transition(0, 1);
+  EXPECT_FALSE(m.transition(0, 1).has_value());
+  EXPECT_EQ(m.num_defined_transitions(), 0u);
+}
+
+TEST(Mealy, BoundsChecking) {
+  MealyMachine m(2, 2);
+  EXPECT_THROW(m.set_transition(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(m.set_transition(0, 2, 0, 0), std::out_of_range);
+  EXPECT_THROW(m.set_transition(0, 0, 9, 0), std::out_of_range);
+  EXPECT_THROW((void)m.transition(5, 0), std::out_of_range);
+  EXPECT_THROW(m.set_initial_state(4), std::out_of_range);
+}
+
+TEST(Mealy, CompletenessDetection) {
+  MealyMachine m = toggle_machine();
+  EXPECT_TRUE(m.is_complete());
+  m.clear_transition(1, 1);
+  EXPECT_FALSE(m.is_complete());
+}
+
+TEST(Mealy, OutputAlphabetSize) {
+  EXPECT_EQ(toggle_machine().output_alphabet_size(), 3u);
+  MealyMachine empty(2, 2);
+  EXPECT_EQ(empty.output_alphabet_size(), 0u);
+}
+
+TEST(Mealy, RunProducesOutputTrace) {
+  const MealyMachine m = toggle_machine();
+  const std::vector<InputId> seq{0, 0, 1, 0};
+  const auto out = m.run(seq, 0);
+  EXPECT_EQ(out, (std::vector<OutputId>{1, 0, 2, 1}));
+  EXPECT_EQ(m.run_to_state(seq, 0), 1u);
+}
+
+TEST(Mealy, RunOnUndefinedTransitionThrows) {
+  MealyMachine m(2, 2);
+  m.set_transition(0, 0, 1, 0);
+  const std::vector<InputId> seq{0, 0};
+  EXPECT_THROW((void)m.run(seq, 0), std::domain_error);
+  EXPECT_THROW((void)m.run_to_state(seq, 0), std::domain_error);
+}
+
+TEST(Mealy, ReachabilityIgnoresUnreachableIsland) {
+  MealyMachine m(4, 1);
+  m.set_transition(0, 0, 1, 0);
+  m.set_transition(1, 0, 0, 0);
+  m.set_transition(2, 0, 3, 0);  // island 2 -> 3
+  m.set_transition(3, 0, 2, 0);
+  const auto seen = m.reachable_states(0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_FALSE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+  EXPECT_EQ(m.num_reachable_states(0), 2u);
+  const auto trans = m.reachable_transitions(0);
+  EXPECT_EQ(trans.size(), 2u);
+}
+
+TEST(Mealy, DefaultNamesAndCustomNames) {
+  MealyMachine m(2, 2);
+  EXPECT_EQ(m.state_name(1), "s1");
+  EXPECT_EQ(m.input_name(0), "i0");
+  m.set_state_name(1, "EXEC");
+  m.set_input_name(0, "nop");
+  EXPECT_EQ(m.state_name(1), "EXEC");
+  EXPECT_EQ(m.input_name(0), "nop");
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, IdenticalMachinesAreEquivalent) {
+  const MealyMachine m = toggle_machine();
+  const auto r = check_equivalence(m, m);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.counterexample.empty());
+}
+
+TEST(Equivalence, OutputMismatchYieldsShortestCounterexample) {
+  const MealyMachine a = toggle_machine();
+  MealyMachine b = toggle_machine();
+  // Corrupt the output of transition (1, 0): reachable after one input 0.
+  b.set_transition(1, 0, 0, 9);
+  const auto r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_EQ(r.counterexample, (std::vector<InputId>{0, 0}));
+  // The counterexample indeed separates the machines.
+  EXPECT_NE(a.run(r.counterexample), b.run(r.counterexample));
+}
+
+TEST(Equivalence, TransferErrorDetectedViaLaterOutputs) {
+  const MealyMachine a = toggle_machine();
+  MealyMachine b = toggle_machine();
+  // Transfer error: (0,0) goes to 0 instead of 1 but keeps output 1.
+  b.set_transition(0, 0, 0, 1);
+  const auto r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_NE(a.run(r.counterexample), b.run(r.counterexample));
+}
+
+TEST(Equivalence, StateRenamingIsInvisible) {
+  // Same behavior with permuted state ids.
+  MealyMachine a = toggle_machine();
+  MealyMachine b(2, 2);
+  // State 0 <-> 1 swapped, outputs adjusted to match behavior from initial.
+  b.set_transition(1, 0, 0, 1);
+  b.set_transition(0, 0, 1, 0);
+  b.set_transition(1, 1, 1, 2);
+  b.set_transition(0, 1, 0, 2);
+  b.set_initial_state(1);
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(Equivalence, DefinednessMismatchIsACounterexample) {
+  MealyMachine a = toggle_machine();
+  MealyMachine b = toggle_machine();
+  b.clear_transition(1, 1);
+  const auto r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  // Counterexample must reach (1,1): e.g. <0, 1>.
+  EXPECT_EQ(r.counterexample.size(), 2u);
+}
+
+TEST(Equivalence, DifferentInputAlphabetsThrow) {
+  MealyMachine a(2, 2);
+  MealyMachine b(2, 3);
+  EXPECT_THROW((void)check_equivalence(a, b), std::invalid_argument);
+}
+
+// Property: a random machine is equivalent to itself from every state, and a
+// machine with one corrupted reachable transition output is never equivalent.
+class EquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceProperty, CorruptedOutputAlwaysDetected) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const MealyMachine a = random_connected_machine(8, 3, 4, seed);
+  EXPECT_TRUE(check_equivalence(a, a).equivalent);
+  std::mt19937_64 rng(seed ^ 0xabcdef);
+  MealyMachine b = a;
+  const auto trans = a.reachable_transitions(0);
+  const auto& pick = trans[rng() % trans.size()];
+  const auto t = a.transition(pick.state, pick.input).value();
+  b.set_transition(pick.state, pick.input, t.next,
+                   t.output + 1);  // guaranteed-different output
+  const auto r = check_equivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_NE(a.run(r.counterexample), b.run(r.counterexample));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty, ::testing::Range(0, 15));
+
+TEST(RandomMachine, AllStatesReachableAndComplete) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto m = random_connected_machine(12, 3, 4, seed);
+    EXPECT_TRUE(m.is_complete());
+    EXPECT_EQ(m.num_reachable_states(0), 12u);
+  }
+}
+
+TEST(RandomMachine, DeterministicInSeed) {
+  const auto a = random_connected_machine(6, 2, 3, 42);
+  const auto b = random_connected_machine(6, 2, 3, 42);
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(RandomMachine, ZeroSizesThrow) {
+  EXPECT_THROW((void)random_connected_machine(0, 1, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_connected_machine(1, 0, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_connected_machine(1, 1, 0, 0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Nondeterministic machines
+// ---------------------------------------------------------------------------
+
+TEST(Nondet, DuplicateEdgesCollapse) {
+  NondetMealyMachine m(2, 1);
+  m.add_transition(0, 0, 1, 5);
+  m.add_transition(0, 0, 1, 5);
+  EXPECT_EQ(m.transitions(0, 0).size(), 1u);
+}
+
+TEST(Nondet, DetectsOutputNondeterminism) {
+  NondetMealyMachine m(2, 2);
+  m.add_transition(0, 0, 1, 0);
+  m.add_transition(0, 0, 1, 1);  // same (s,i), different output
+  m.add_transition(0, 1, 0, 0);
+  m.add_transition(0, 1, 1, 0);  // same output: target nondeterminism only
+  EXPECT_FALSE(m.is_deterministic());
+  EXPECT_TRUE(m.has_output_nondeterminism());
+  const auto pairs = m.output_nondeterministic_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (TransitionRef{0, 0}));
+}
+
+TEST(Nondet, ToDeterministicSucceedsWhenSingleValued) {
+  NondetMealyMachine m(2, 2);
+  m.add_transition(0, 0, 1, 3);
+  m.add_transition(1, 0, 0, 4);
+  m.set_initial_state(1);
+  const auto det = m.to_deterministic();
+  ASSERT_TRUE(det.has_value());
+  EXPECT_EQ(det->initial_state(), 1u);
+  EXPECT_EQ(det->transition(0, 0)->output, 3u);
+  EXPECT_FALSE(det->transition(0, 1).has_value());
+}
+
+TEST(Nondet, ToDeterministicFailsOnMultipleEdges) {
+  NondetMealyMachine m(2, 1);
+  m.add_transition(0, 0, 0, 0);
+  m.add_transition(0, 0, 1, 0);
+  EXPECT_FALSE(m.to_deterministic().has_value());
+}
+
+TEST(Nondet, BoundsChecking) {
+  NondetMealyMachine m(2, 2);
+  EXPECT_THROW(m.add_transition(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(m.add_transition(0, 3, 0, 0), std::out_of_range);
+  EXPECT_THROW(m.add_transition(0, 0, 5, 0), std::out_of_range);
+  EXPECT_THROW(m.set_initial_state(9), std::out_of_range);
+  EXPECT_THROW((void)m.transitions(4, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace simcov::fsm

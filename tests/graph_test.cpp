@@ -1,0 +1,456 @@
+// Tests for the digraph / SCC / Eulerian / min-cost-flow / Chinese Postman
+// substrate behind minimum-cost transition tours.
+#include "graph/digraph.hpp"
+#include "graph/min_cost_flow.hpp"
+#include "graph/postman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <random>
+#include <set>
+
+namespace simcov::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Digraph basics
+// ---------------------------------------------------------------------------
+
+TEST(Digraph, DegreesTrackEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 2);  // self-loop
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 3u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1, 10);
+  g.add_edge(0, 1, 2, 20);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0).label, 10u);
+  EXPECT_EQ(g.edge(1).label, 20u);
+  EXPECT_EQ(g.total_cost(), 3);
+}
+
+TEST(Digraph, AddEdgeOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(7, 0), std::out_of_range);
+}
+
+TEST(Digraph, AddNodeGrowsGraph) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SCC
+// ---------------------------------------------------------------------------
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  Digraph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 4u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoCyclesJoinedOneWay) {
+  // 0 <-> 1 --> 2 <-> 3 : two SCCs.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  // Tarjan numbers components in reverse topological order: the sink SCC
+  // {2,3} closes first.
+  EXPECT_LT(scc.component[2], scc.component[0]);
+}
+
+TEST(Scc, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(strongly_connected_components(g).count, 0u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, SelfLoopSingleton) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2u);
+}
+
+// Property: on random graphs, u and v share a component iff both reach each
+// other (checked by brute-force reachability).
+class SccRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SccRandomProperty, MatchesBruteForceReachability) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const NodeId n = 9;
+  Digraph g(n);
+  for (int e = 0; e < 16; ++e) {
+    g.add_edge(rng() % n, rng() % n);
+  }
+  // Brute force transitive closure.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (NodeId v = 0; v < n; ++v) reach[v][v] = true;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    reach[g.edge(e).from][g.edge(e).to] = true;
+  }
+  for (NodeId k = 0; k < n; ++k)
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = 0; j < n; ++j)
+        if (reach[i][k] && reach[k][j]) reach[i][j] = true;
+  const auto scc = strongly_connected_components(g);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      const bool same = scc.component[u] == scc.component[v];
+      EXPECT_EQ(same, reach[u][v] && reach[v][u])
+          << "nodes " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccRandomProperty, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Eulerian circuits
+// ---------------------------------------------------------------------------
+
+void expect_valid_circuit(const Digraph& g, const std::vector<EdgeId>& circuit,
+                          NodeId start) {
+  ASSERT_EQ(circuit.size(), g.num_edges());
+  std::set<EdgeId> used;
+  NodeId at = start;
+  for (EdgeId e : circuit) {
+    EXPECT_EQ(g.edge(e).from, at) << "walk discontinuity";
+    EXPECT_TRUE(used.insert(e).second) << "edge reused";
+    at = g.edge(e).to;
+  }
+  EXPECT_EQ(at, start) << "walk not closed";
+}
+
+TEST(Euler, SimpleCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  ASSERT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 0), 0);
+}
+
+TEST(Euler, TwoLobesThroughSharedNode) {
+  // Figure-eight: 0->1->0 and 0->2->0.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);
+  ASSERT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 0), 0);
+}
+
+TEST(Euler, WithSelfLoopsAndParallels) {
+  Digraph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  ASSERT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 1), 1);
+}
+
+TEST(Euler, UnbalancedHasNoCircuit) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(has_eulerian_circuit(g));
+}
+
+TEST(Euler, DisconnectedEdgesHaveNoCircuit) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  EXPECT_FALSE(has_eulerian_circuit(g));
+}
+
+TEST(Euler, EmptyGraphHasEmptyCircuit) {
+  Digraph g(3);
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  EXPECT_TRUE(eulerian_circuit(g, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Min-cost flow
+// ---------------------------------------------------------------------------
+
+TEST(MinCostFlowTest, SingleArc) {
+  MinCostFlow mcf(2);
+  const auto a = mcf.add_arc(0, 1, 5, 3);
+  const auto [flow, cost] = mcf.solve(0, 1);
+  EXPECT_EQ(flow, 5);
+  EXPECT_EQ(cost, 15);
+  EXPECT_EQ(mcf.flow_on(a), 5);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  // 0 -> 1 -> 3 costs 1+1; 0 -> 2 -> 3 costs 5+5. Capacity forces a split.
+  MinCostFlow mcf(4);
+  const auto cheap1 = mcf.add_arc(0, 1, 2, 1);
+  const auto cheap2 = mcf.add_arc(1, 3, 2, 1);
+  const auto dear1 = mcf.add_arc(0, 2, 2, 5);
+  const auto dear2 = mcf.add_arc(2, 3, 2, 5);
+  const auto [flow, cost] = mcf.solve(0, 3, 3);
+  EXPECT_EQ(flow, 3);
+  EXPECT_EQ(cost, 2 * 2 + 1 * 10);
+  EXPECT_EQ(mcf.flow_on(cheap1), 2);
+  EXPECT_EQ(mcf.flow_on(cheap2), 2);
+  EXPECT_EQ(mcf.flow_on(dear1), 1);
+  EXPECT_EQ(mcf.flow_on(dear2), 1);
+}
+
+TEST(MinCostFlowTest, RespectsMaxFlowCap) {
+  MinCostFlow mcf(2);
+  mcf.add_arc(0, 1, 100, 1);
+  const auto [flow, cost] = mcf.solve(0, 1, 7);
+  EXPECT_EQ(flow, 7);
+  EXPECT_EQ(cost, 7);
+}
+
+TEST(MinCostFlowTest, DisconnectedGivesZeroFlow) {
+  MinCostFlow mcf(3);
+  mcf.add_arc(0, 1, 4, 1);
+  const auto [flow, cost] = mcf.solve(0, 2);
+  EXPECT_EQ(flow, 0);
+  EXPECT_EQ(cost, 0);
+}
+
+TEST(MinCostFlowTest, NegativeInputsThrow) {
+  MinCostFlow mcf(2);
+  EXPECT_THROW((void)mcf.add_arc(0, 1, -1, 0), std::invalid_argument);
+  EXPECT_THROW((void)mcf.add_arc(0, 1, 1, -2), std::invalid_argument);
+  EXPECT_THROW((void)mcf.add_arc(0, 9, 1, 1), std::out_of_range);
+}
+
+TEST(MinCostFlowTest, ResidualReroutingFindsOptimum) {
+  // Classic case where a later augmentation must push flow back.
+  MinCostFlow mcf(4);
+  mcf.add_arc(0, 1, 1, 1);
+  mcf.add_arc(0, 2, 1, 10);
+  mcf.add_arc(1, 2, 1, 1);
+  mcf.add_arc(1, 3, 1, 10);
+  mcf.add_arc(2, 3, 1, 1);
+  const auto [flow, cost] = mcf.solve(0, 3, 2);
+  EXPECT_EQ(flow, 2);
+  // Optimal: 0-1-2-3 (3) + 0-2? cap of 0->2 is 1 cost 10... paths:
+  // 0-1-2-3 = 1+1+1 = 3 and 0-2-3 blocked (2->3 cap 1 used) so 0-1-3 & 0-2-3:
+  // best pairing is {0-1-2-3? } enumerate: two edge-disjoint path sets:
+  //   {0-1-3, 0-2-3} = (1+10) + (10+1) = 22
+  //   {0-1-2-3, 0-2-3} shares 2->3: invalid.
+  // So optimum is 22... unless flow splits: total = 22.
+  EXPECT_EQ(cost, 22);
+}
+
+// ---------------------------------------------------------------------------
+// Chinese Postman
+// ---------------------------------------------------------------------------
+
+void expect_valid_postman_tour(const Digraph& g, const PostmanResult& r,
+                               NodeId start) {
+  // Covers every edge at least once, forms a closed walk from start.
+  std::vector<int> covered(g.num_edges(), 0);
+  NodeId at = start;
+  for (EdgeId e : r.tour) {
+    ASSERT_LT(e, g.num_edges());
+    EXPECT_EQ(g.edge(e).from, at);
+    ++covered[e];
+    at = g.edge(e).to;
+  }
+  EXPECT_EQ(at, start);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(covered[e], 1) << "edge " << e << " not covered";
+  }
+  EXPECT_GE(r.total_cost, r.lower_bound);
+}
+
+TEST(Postman, EulerianGraphNeedsNoDuplicates) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto r = directed_chinese_postman(g, 0);
+  ASSERT_TRUE(r.has_value());
+  expect_valid_postman_tour(g, *r, 0);
+  EXPECT_EQ(r->total_cost, r->lower_bound);
+  EXPECT_EQ(r->duplicated_edges, 0u);
+}
+
+TEST(Postman, UnbalancedGraphDuplicatesCheapestPath) {
+  // 0->1 (x2 needed): graph 0->1 cost 1, 1->0 cost 1, 1->0 cost 9 parallel.
+  // Balanced? out(0)=1,in(0)=2; out(1)=2,in(1)=1. Path from 0 (b=-1) to 1
+  // duplicates the cost-1 edge 0->1.
+  Digraph g(2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  g.add_edge(1, 0, 9);
+  const auto r = directed_chinese_postman(g, 0);
+  ASSERT_TRUE(r.has_value());
+  expect_valid_postman_tour(g, *r, 0);
+  EXPECT_EQ(r->duplicated_edges, 1u);
+  EXPECT_EQ(r->total_cost, 11 + 1);  // all edges once (11) + one dup of cost 1
+}
+
+TEST(Postman, InfeasibleWhenNotStronglyConnected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(directed_chinese_postman(g, 0).has_value());
+}
+
+TEST(Postman, InfeasibleWhenStartDisconnected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(directed_chinese_postman(g, 2).has_value());
+}
+
+TEST(Postman, EmptyGraphEmptyTour) {
+  Digraph g(2);
+  const auto r = directed_chinese_postman(g, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->tour.empty());
+  EXPECT_EQ(r->total_cost, 0);
+}
+
+TEST(Postman, NegativeCostThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1, -3);
+  g.add_edge(1, 0, 1);
+  EXPECT_THROW((void)directed_chinese_postman(g, 0), std::invalid_argument);
+}
+
+/// Brute-force optimal covering closed walk via BFS over
+/// (node, covered-edge bitmask) — exact for graphs with few edges.
+std::optional<std::int64_t> brute_force_postman_cost(const Digraph& g,
+                                                     NodeId start) {
+  if (g.num_edges() == 0) return 0;
+  if (g.num_edges() > 12) throw std::logic_error("too many edges for BFS");
+  const std::uint32_t full = (1u << g.num_edges()) - 1;
+  // Dijkstra over (node, mask) with edge costs.
+  using Key = std::uint64_t;
+  auto key = [&](NodeId v, std::uint32_t mask) {
+    return (static_cast<Key>(v) << 32) | mask;
+  };
+  std::map<Key, std::int64_t> dist;
+  using Item = std::pair<std::int64_t, Key>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[key(start, 0)] = 0;
+  pq.emplace(0, key(start, 0));
+  while (!pq.empty()) {
+    const auto [d, k] = pq.top();
+    pq.pop();
+    const NodeId v = static_cast<NodeId>(k >> 32);
+    const std::uint32_t mask = static_cast<std::uint32_t>(k);
+    if (d != dist[k]) continue;
+    if (v == start && mask == full) return d;
+    for (const EdgeId e : g.out_edges(v)) {
+      const Edge& ed = g.edge(e);
+      const Key nk = key(ed.to, mask | (1u << e));
+      const std::int64_t nd = d + ed.cost;
+      const auto it = dist.find(nk);
+      if (it == dist.end() || nd < it->second) {
+        dist[nk] = nd;
+        pq.emplace(nd, nk);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Property: the CPP solver is exactly optimal on small random graphs,
+// cross-checked against exhaustive search.
+class PostmanOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostmanOptimality, MatchesBruteForceOnTinyGraphs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 311 + 13);
+  const NodeId n = 2 + rng() % 3;
+  Digraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, (v + 1) % n, 1 + rng() % 4);  // backbone cycle
+  }
+  const int extra = static_cast<int>(rng() % (11 - n));
+  for (int e = 0; e < extra; ++e) {
+    g.add_edge(rng() % n, rng() % n, 1 + rng() % 4);
+  }
+  const NodeId start = rng() % n;
+  const auto cpp = directed_chinese_postman(g, start);
+  const auto brute = brute_force_postman_cost(g, start);
+  ASSERT_TRUE(cpp.has_value());
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_EQ(cpp->total_cost, *brute)
+      << "CPP must produce a minimum-cost covering tour";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostmanOptimality, ::testing::Range(0, 25));
+
+// Property: on random strongly connected graphs the tour is valid and its
+// cost stays within the trivial upper bound (every edge duplicated at most
+// n times would be far worse; we check validity + lower bound + optimality
+// versus exhaustive duplication search on tiny graphs).
+class PostmanRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostmanRandomProperty, RandomStronglyConnectedGraphs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 977 + 5);
+  const NodeId n = 2 + rng() % 6;
+  Digraph g(n);
+  // Backbone cycle guarantees strong connectivity.
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, (v + 1) % n, 1 + rng() % 5);
+  }
+  const int extra = static_cast<int>(rng() % 10);
+  for (int e = 0; e < extra; ++e) {
+    g.add_edge(rng() % n, rng() % n, 1 + rng() % 5);
+  }
+  const NodeId start = rng() % n;
+  const auto r = directed_chinese_postman(g, start);
+  ASSERT_TRUE(r.has_value());
+  expect_valid_postman_tour(g, *r, start);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostmanRandomProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace simcov::graph

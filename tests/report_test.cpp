@@ -1,0 +1,123 @@
+// Tests for report formatting, the umbrella header, DOT exports, and the
+// set-based test evaluation helpers.
+#include "simcov.hpp"  // umbrella header must compile standalone
+
+#include <gtest/gtest.h>
+
+namespace simcov {
+namespace {
+
+testmodel::TestModelOptions tiny_model_options() {
+  testmodel::TestModelOptions opt;
+  opt.output_sync_latches = false;
+  opt.fetch_controller = false;
+  opt.aux_outputs = false;
+  opt.onehot_opclass = false;
+  opt.interlock_registers = false;
+  opt.reg_addr_bits = 1;
+  opt.reduced_isa = true;
+  return opt;
+}
+
+TEST(Report, CampaignSummaryContainsKeyFacts) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kStateTour;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall};
+  const auto result = core::run_campaign(options, bugs);
+  const std::string text = core::format_report(result);
+  EXPECT_NE(text.find("validation campaign"), std::string::npos);
+  EXPECT_NE(text.find("latches"), std::string::npos);
+  EXPECT_NE(text.find("missing load-use interlock"), std::string::npos);
+  EXPECT_NE(text.find(result.clean_pass ? "PASS" : "FAIL"),
+            std::string::npos);
+}
+
+TEST(Report, RequirementsSummary) {
+  fsm::MealyMachine m(2, 1);
+  m.set_transition(0, 0, 1, 0);
+  m.set_transition(1, 0, 0, 1);
+  const auto req = core::assess_requirements(m, 0, tiny_model_options(), 4,
+                                             10, 50);
+  const std::string text = core::format_report(req);
+  EXPECT_NE(text.find("requirements assessment"), std::string::npos);
+  EXPECT_NE(text.find("Req. 5"), std::string::npos);
+}
+
+TEST(Report, MutantCoverageLine) {
+  core::MutantCoverageResult r;
+  r.mutants = 100;
+  r.exposed = 88;
+  r.equivalent = 3;
+  r.sequences = 4;
+  r.test_length = 1234;
+  const std::string line =
+      core::format_line(core::TestMethod::kTransitionTourSet, r);
+  EXPECT_NE(line.find("transition-tour"), std::string::npos);
+  EXPECT_NE(line.find("88/100"), std::string::npos);
+  EXPECT_NE(line.find("3 equivalent"), std::string::npos);
+}
+
+TEST(Report, EveryBugHasAName) {
+  for (int raw = 0;
+       raw <= static_cast<int>(dlx::PipelineBug::kForwardFromR0); ++raw) {
+    const auto bug = static_cast<dlx::PipelineBug>(raw);
+    EXPECT_STRNE(core::bug_name(bug), "?");
+  }
+}
+
+TEST(Dot, MealyMachineExport) {
+  fsm::MealyMachine m(3, 1);
+  m.set_state_name(0, "IDLE");
+  m.set_transition(0, 0, 1, 7);
+  m.set_transition(1, 0, 0, 8);
+  m.set_transition(2, 0, 2, 9);  // unreachable: must not appear
+  const std::string dot = m.to_dot(0);
+  EXPECT_NE(dot.find("digraph mealy"), std::string::npos);
+  EXPECT_NE(dot.find("IDLE"), std::string::npos);
+  EXPECT_NE(dot.find("i0/7"), std::string::npos);
+  EXPECT_EQ(dot.find("s2"), std::string::npos);
+}
+
+TEST(TestSetEval, MultiSequenceVariantMatchesUnion) {
+  fsm::MealyMachine m(3, 2);
+  for (fsm::StateId s = 0; s < 3; ++s) {
+    m.set_transition(s, 0, (s + 1) % 3, s);
+    m.set_transition(s, 1, s, 10 + s);
+  }
+  const auto muts =
+      errmodel::enumerate_output_errors(m, 0, m.output_alphabet_size());
+  const std::vector<std::vector<fsm::InputId>> sequences{
+      {0, 0, 0}, {1}, {0, 1}};
+  const auto set_report = errmodel::evaluate_test_set(m, muts, 0, sequences);
+  // A mutant is exposed by the set iff some individual sequence exposes it.
+  for (std::size_t k = 0; k < muts.size(); ++k) {
+    bool any = false;
+    for (const auto& seq : sequences) {
+      any = any || errmodel::evaluate_test_set(
+                       m, std::span(&muts[k], 1), 0, seq)
+                       .exposed > 0;
+    }
+    EXPECT_EQ(set_report.exposed_flags[k], any) << "mutant " << k;
+  }
+}
+
+TEST(Campaign, WMethodWorksOnMinimizableModel) {
+  // The W-method path in the campaign minimizes first, so it must succeed
+  // even though the control model has equivalent states.
+  const auto model = testmodel::build_dlx_control_model(tiny_model_options());
+  const auto em = sym::extract_explicit(model.circuit, 100000);
+  const auto minimized = distinguish::minimize(em.machine, 0);
+  EXPECT_LT(minimized.machine.num_states(), em.machine.num_states());
+  core::MutantCoverageOptions opt;
+  opt.method = core::TestMethod::kWMethod;
+  opt.mutant_sample = 100;
+  const auto r = core::evaluate_mutant_coverage(
+      minimized.machine, minimized.machine.initial_state(), opt);
+  // On the minimized machine the W-method exposes every real fault.
+  EXPECT_EQ(r.exposed, r.mutants);
+}
+
+}  // namespace
+}  // namespace simcov

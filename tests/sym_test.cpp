@@ -1,0 +1,440 @@
+// Tests for the logic-network IR and the symbolic FSM layer (transition
+// relations, image computation, reachability, counting, explicit extraction).
+#include "sym/logic_network.hpp"
+#include "sym/symbolic_fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "testmodel/testmodel.hpp"
+#include "tour/tour.hpp"
+
+namespace simcov::sym {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogicNetwork
+// ---------------------------------------------------------------------------
+
+TEST(LogicNet, ConcreteEvaluation) {
+  LogicNetwork net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId x = net.make_xor(a, b);
+  const SignalId n = net.make_not(x);
+  const SignalId m = net.make_mux(a, b, n);
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto val = net.eval({va, vb});
+      EXPECT_EQ(val[x], va != vb);
+      EXPECT_EQ(val[n], !(va != vb));
+      EXPECT_EQ(val[m], va ? vb : !(va != vb));
+    }
+  }
+}
+
+TEST(LogicNet, ConstantsAreShared) {
+  LogicNetwork net;
+  EXPECT_EQ(net.constant(true), net.constant(true));
+  EXPECT_EQ(net.constant(false), net.constant(false));
+  EXPECT_NE(net.constant(true), net.constant(false));
+}
+
+TEST(LogicNet, NaryHelpers) {
+  LogicNetwork net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const std::vector<SignalId> xs{a, b, c};
+  const SignalId all = net.make_and(xs);
+  const SignalId any = net.make_or(xs);
+  const auto v1 = net.eval({true, true, false});
+  EXPECT_FALSE(v1[all]);
+  EXPECT_TRUE(v1[any]);
+  const auto v2 = net.eval({true, true, true});
+  EXPECT_TRUE(v2[all]);
+  // Empty spans give neutral elements.
+  const std::vector<SignalId> empty;
+  EXPECT_TRUE(net.eval({false, false, false})[net.make_and(empty)]);
+  EXPECT_FALSE(net.eval({false, false, false})[net.make_or(empty)]);
+}
+
+TEST(LogicNet, EqualityComparators) {
+  LogicNetwork net;
+  const SignalId a0 = net.add_input("a0");
+  const SignalId a1 = net.add_input("a1");
+  const SignalId b0 = net.add_input("b0");
+  const SignalId b1 = net.add_input("b1");
+  const std::vector<SignalId> a{a0, a1};
+  const std::vector<SignalId> b{b0, b1};
+  const SignalId eq = net.make_eq(a, b);
+  const SignalId is2 = net.make_eq_const(a, 2);  // a1=1, a0=0
+  EXPECT_TRUE(net.eval({true, false, true, false})[eq]);
+  EXPECT_FALSE(net.eval({true, false, false, false})[eq]);
+  EXPECT_TRUE(net.eval({false, true, false, false})[is2]);
+  EXPECT_FALSE(net.eval({true, true, false, false})[is2]);
+}
+
+TEST(LogicNet, ValidationErrors) {
+  LogicNetwork net;
+  const SignalId a = net.add_input("a");
+  EXPECT_THROW((void)net.make_not(99), std::out_of_range);
+  EXPECT_THROW((void)net.eval({}), std::invalid_argument);
+  const std::vector<SignalId> one{a};
+  const std::vector<SignalId> two{a, a};
+  EXPECT_THROW((void)net.make_eq(one, two), std::invalid_argument);
+}
+
+TEST(LogicNet, SymbolicMatchesConcrete) {
+  LogicNetwork net;
+  const SignalId a = net.add_input("a");
+  const SignalId b = net.add_input("b");
+  const SignalId c = net.add_input("c");
+  const SignalId f =
+      net.make_or(net.make_and(a, net.make_not(b)), net.make_xor(b, c));
+  bdd::BddManager mgr;
+  const std::vector<bdd::Bdd> in{mgr.var(0), mgr.var(1), mgr.var(2)};
+  const auto sym = net.eval_bdd(mgr, in);
+  const std::vector<unsigned> vars{0, 1, 2};
+  for (unsigned assignment = 0; assignment < 8; ++assignment) {
+    const std::vector<bool> bits{(assignment & 1) != 0, (assignment & 2) != 0,
+                                 (assignment & 4) != 0};
+    const bool concrete = net.eval(bits)[f];
+    const bdd::Bdd point = mgr.minterm(vars, bits);
+    EXPECT_EQ(mgr.leq(point, sym[f]), concrete) << "assignment " << assignment;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SymbolicFsm on a hand-built 2-bit counter with enable.
+// ---------------------------------------------------------------------------
+
+/// 2-bit counter: counts up when `en`, holds otherwise. Output = carry.
+SequentialCircuit counter_circuit() {
+  SequentialCircuit c;
+  const SignalId en = c.net.add_input("en");
+  const SignalId q0 = c.net.add_input("q0");
+  const SignalId q1 = c.net.add_input("q1");
+  const SignalId n0 = c.net.make_xor(q0, en);
+  const SignalId n1 = c.net.make_xor(q1, c.net.make_and(q0, en));
+  const SignalId carry = c.net.make_and(en, c.net.make_and(q0, q1));
+  c.primary_inputs = {en};
+  c.latches = {{q0, n0, false, "q0"}, {q1, n1, false, "q1"}};
+  c.outputs = {{"carry", carry}};
+  return c;
+}
+
+TEST(SymFsm, CounterReachesAllFourStates) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  EXPECT_EQ(fsm.num_latches(), 2u);
+  EXPECT_EQ(fsm.num_inputs(), 1u);
+  const auto stats = fsm.stats();
+  EXPECT_DOUBLE_EQ(stats.reachable_states, 4.0);
+  // Each state has 2 valid inputs: 8 transitions.
+  EXPECT_DOUBLE_EQ(stats.transitions, 8.0);
+  EXPECT_DOUBLE_EQ(stats.valid_input_combinations, 2.0);
+  // BFS depth: 00 -> 01 -> 10 -> 11 then a no-growth check round.
+  EXPECT_GE(stats.reachability_iterations, 4u);
+}
+
+TEST(SymFsm, ImageOfSingleState) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  // Image of {00} = {00 (en=0), 01 (en=1)}.
+  const bdd::Bdd img = fsm.image(fsm.initial_states());
+  EXPECT_DOUBLE_EQ(fsm.count_states(img), 2.0);
+  // The initial state is in its own image (en=0 holds).
+  EXPECT_TRUE(mgr.leq(fsm.initial_states(), img));
+}
+
+TEST(SymFsm, ConstraintPrunesStateSpace) {
+  // Constrain en=1: counter must cycle, and "hold" transitions vanish.
+  SequentialCircuit c = counter_circuit();
+  c.valid = c.net.inputs()[0];  // en itself must be 1
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const auto stats = fsm.stats();
+  EXPECT_DOUBLE_EQ(stats.reachable_states, 4.0);
+  EXPECT_DOUBLE_EQ(stats.transitions, 4.0);  // one valid input per state
+  EXPECT_DOUBLE_EQ(stats.valid_input_combinations, 1.0);
+}
+
+TEST(SymFsm, UndeclaredInputThrows) {
+  SequentialCircuit c;
+  const SignalId a = c.net.add_input("a");
+  const SignalId q = c.net.add_input("q");
+  c.latches = {{q, c.net.make_not(q), false, "q"}};
+  // `a` is neither latch nor declared primary input.
+  (void)a;
+  bdd::BddManager mgr;
+  EXPECT_THROW((void)SymbolicFsm(mgr, c), std::invalid_argument);
+}
+
+TEST(SymFsm, SignalDeclaredTwiceThrows) {
+  SequentialCircuit c;
+  const SignalId q = c.net.add_input("q");
+  c.latches = {{q, q, false, "q"}};
+  c.primary_inputs = {q};
+  bdd::BddManager mgr;
+  EXPECT_THROW((void)SymbolicFsm(mgr, c), std::invalid_argument);
+}
+
+TEST(SymFsm, PreimageInvertsImage) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  // Preimage of the image of the initial state contains the initial state.
+  const bdd::Bdd img = fsm.image(fsm.initial_states());
+  const bdd::Bdd pre = fsm.preimage(img);
+  EXPECT_TRUE(mgr.leq(fsm.initial_states(), pre));
+  // State 01 is entered only from 00 (en=1) and from itself (en=0).
+  const std::vector<unsigned> ps{fsm.ps_var(0), fsm.ps_var(1)};
+  const std::vector<bool> s01{true, false};
+  const bdd::Bdd state01 = mgr.minterm(ps, s01);
+  const bdd::Bdd pred = fsm.preimage(state01);
+  EXPECT_DOUBLE_EQ(fsm.count_states(pred), 2.0);
+}
+
+TEST(Invariant, HoldsWhenBadUnreachable) {
+  // Counter with the top bit forced off: q1 stays 0.
+  SequentialCircuit c;
+  const SignalId en = c.net.add_input("en");
+  const SignalId q0 = c.net.add_input("q0");
+  const SignalId q1 = c.net.add_input("q1");
+  c.primary_inputs = {en};
+  c.latches = {{q0, c.net.make_xor(q0, en), false, "q0"},
+               {q1, c.net.constant(false), false, "q1"}};
+  c.outputs = {{"q0", q0}};
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const auto result = fsm.check_invariant(!mgr.var(fsm.ps_var(1)));
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(Invariant, ShortestCounterexampleTrace) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  // "The counter never reaches 11": violated after 3 increments.
+  const bdd::Bdd bad_state =
+      mgr.var(fsm.ps_var(0)) & mgr.var(fsm.ps_var(1));
+  const auto result = fsm.check_invariant(!bad_state);
+  ASSERT_FALSE(result.holds);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const auto& trace = *result.counterexample;
+  ASSERT_EQ(trace.states.size(), 4u);  // 00 -> 01 -> 10 -> 11 (shortest)
+  ASSERT_EQ(trace.inputs.size(), 3u);
+  // Starts at reset, ends in the bad state.
+  EXPECT_EQ(trace.states.front(), (std::vector<bool>{false, false}));
+  EXPECT_EQ(trace.states.back(), (std::vector<bool>{true, true}));
+  // Every step must be enabled (en = 1) to keep counting.
+  for (const auto& in : trace.inputs) {
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_TRUE(in[0]);
+  }
+  // Replay the trace through the netlist to validate it end to end.
+  std::vector<bool> state = trace.states.front();
+  for (std::size_t k = 0; k < trace.inputs.size(); ++k) {
+    const std::vector<bool> net_in{trace.inputs[k][0], state[0], state[1]};
+    const auto values = c.net.eval(net_in);
+    state = {values[c.latches[0].next], values[c.latches[1].next]};
+    EXPECT_EQ(state, trace.states[k + 1]) << "step " << k;
+  }
+}
+
+TEST(Invariant, ViolatedAtReset) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const auto result = fsm.check_invariant(mgr.zero());
+  ASSERT_FALSE(result.holds);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(result.counterexample->states.size(), 1u);
+  EXPECT_TRUE(result.counterexample->inputs.empty());
+}
+
+TEST(Invariant, ControlModelSafetyProperty) {
+  // On the DLX control model: "stall and squash never assert together"
+  // (they are driven by a load vs a control transfer in EX — exclusive).
+  testmodel::TestModelOptions opt;
+  opt.output_sync_latches = false;
+  opt.fetch_controller = false;
+  opt.aux_outputs = false;
+  opt.onehot_opclass = false;
+  opt.interlock_registers = false;
+  opt.reg_addr_bits = 2;
+  const auto model = testmodel::build_dlx_control_model(opt);
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, model.circuit);
+  // stall & squash are outputs over (ps, pi): check no reachable state
+  // admits a valid input with both asserted.
+  const auto& outs = fsm.output_functions();
+  // outputs: stall=0, squash=1 (see testmodel.cpp ordering).
+  const bdd::Bdd both = outs[0] & outs[1] & fsm.valid_inputs();
+  const bdd::Bdd reachable = fsm.reachable_states();
+  EXPECT_FALSE(mgr.intersects(reachable, both));
+}
+
+// ---------------------------------------------------------------------------
+// Explicit extraction
+// ---------------------------------------------------------------------------
+
+TEST(Extract, CounterBecomesFourStateMachine) {
+  const SequentialCircuit c = counter_circuit();
+  const auto model = extract_explicit(c, 100);
+  EXPECT_FALSE(model.truncated);
+  EXPECT_EQ(model.machine.num_states(), 4u);
+  EXPECT_EQ(model.machine.num_inputs(), 2u);  // en in {0,1}
+  EXPECT_TRUE(model.machine.is_complete());
+  EXPECT_EQ(model.state_bits.size(), 4u);
+  // Output symbol: carry fires only on (11, en=1).
+  fsm::OutputId carries = 0;
+  for (fsm::StateId s = 0; s < 4; ++s) {
+    for (fsm::InputId i = 0; i < 2; ++i) {
+      carries += model.machine.transition(s, i)->output;
+    }
+  }
+  EXPECT_EQ(carries, 1u);
+}
+
+TEST(Extract, AgreesWithSymbolicCounts) {
+  const SequentialCircuit c = counter_circuit();
+  const auto model = extract_explicit(c, 100);
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const auto stats = fsm.stats();
+  EXPECT_DOUBLE_EQ(stats.reachable_states,
+                   static_cast<double>(model.machine.num_states()));
+  EXPECT_DOUBLE_EQ(stats.transitions,
+                   static_cast<double>(model.machine.num_defined_transitions()));
+}
+
+TEST(Extract, ConstraintLeavesInvalidInputsUndefined) {
+  SequentialCircuit c = counter_circuit();
+  // en must be 1 in state 00 (q0=q1=0); elsewhere anything goes:
+  // valid = en | q0 | q1.
+  const auto ins = c.net.inputs();
+  c.valid = c.net.make_or(ins[0], c.net.make_or(ins[1], ins[2]));
+  const auto model = extract_explicit(c, 100);
+  EXPECT_EQ(model.machine.num_states(), 4u);
+  EXPECT_FALSE(model.machine.is_complete());
+  // State 00 is the initial state: input en=0 undefined there.
+  fsm::InputId en0 = model.input_bits[0][0] ? 1 : 0;
+  EXPECT_FALSE(model.machine.transition(0, en0).has_value());
+  EXPECT_TRUE(model.machine.transition(0, 1 - en0).has_value());
+}
+
+TEST(Extract, TruncationFlag) {
+  const SequentialCircuit c = counter_circuit();
+  const auto model = extract_explicit(c, 2);
+  EXPECT_TRUE(model.truncated);
+  EXPECT_LE(model.machine.num_states(), 2u);
+}
+
+TEST(Extract, ExtractedMachineSupportsTours) {
+  const SequentialCircuit c = counter_circuit();
+  const auto model = extract_explicit(c, 100);
+  const auto t = tour::minimum_transition_tour(model.machine, 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(tour::is_transition_tour(model.machine, 0, t->inputs));
+  EXPECT_EQ(t->length(), 8u);  // Eulerian: every state in=out=2
+}
+
+// Property: on random gate networks, concrete evaluation and symbolic
+// (BDD) evaluation agree on every assignment.
+class LogicNetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogicNetProperty, ConcreteAndSymbolicAgree) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 53 + 11);
+  LogicNetwork net;
+  const unsigned kInputs = 5;
+  std::vector<SignalId> pool;
+  for (unsigned k = 0; k < kInputs; ++k) {
+    pool.push_back(net.add_input("i" + std::to_string(k)));
+  }
+  pool.push_back(net.constant(false));
+  pool.push_back(net.constant(true));
+  auto pick = [&]() { return pool[rng() % pool.size()]; };
+  for (int g = 0; g < 30; ++g) {
+    switch (rng() % 5) {
+      case 0: pool.push_back(net.make_not(pick())); break;
+      case 1: pool.push_back(net.make_and(pick(), pick())); break;
+      case 2: pool.push_back(net.make_or(pick(), pick())); break;
+      case 3: pool.push_back(net.make_xor(pick(), pick())); break;
+      case 4: pool.push_back(net.make_mux(pick(), pick(), pick())); break;
+    }
+  }
+  bdd::BddManager mgr;
+  std::vector<bdd::Bdd> in_funcs;
+  for (unsigned k = 0; k < kInputs; ++k) in_funcs.push_back(mgr.var(k));
+  const auto sym = net.eval_bdd(mgr, in_funcs);
+  for (unsigned a = 0; a < (1u << kInputs); ++a) {
+    std::vector<bool> bits(kInputs);
+    std::vector<bool> by_var(kInputs);
+    for (unsigned v = 0; v < kInputs; ++v) {
+      bits[v] = (a >> v) & 1u;
+      by_var[v] = bits[v];
+    }
+    const auto concrete = net.eval(bits);
+    for (std::size_t s = 0; s < net.num_signals(); ++s) {
+      ASSERT_EQ(concrete[s], mgr.eval(sym[s], by_var))
+          << "signal " << s << " assignment " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogicNetProperty, ::testing::Range(0, 10));
+
+// Property: random small circuits — symbolic and explicit agree on
+// reachable-state and transition counts.
+class SymExplicitAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymExplicitAgreement, CountsMatch) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31 + 7);
+  SequentialCircuit c;
+  const unsigned kLatches = 3;
+  const unsigned kInputs = 2;
+  std::vector<SignalId> pis, qs;
+  for (unsigned k = 0; k < kInputs; ++k) {
+    pis.push_back(c.net.add_input("i" + std::to_string(k)));
+  }
+  for (unsigned j = 0; j < kLatches; ++j) {
+    qs.push_back(c.net.add_input("q" + std::to_string(j)));
+  }
+  c.primary_inputs = pis;
+  auto random_signal = [&]() {
+    // Random 2-level expression over the available signals.
+    auto pick = [&]() {
+      const auto& pool = (rng() % 2 == 0) ? pis : qs;
+      SignalId s = pool[rng() % pool.size()];
+      return (rng() % 2 == 0) ? c.net.make_not(s) : s;
+    };
+    SignalId x = c.net.make_and(pick(), pick());
+    SignalId y = c.net.make_xor(pick(), pick());
+    return c.net.make_or(x, y);
+  };
+  for (unsigned j = 0; j < kLatches; ++j) {
+    c.latches.push_back({qs[j], random_signal(), false, "q"});
+  }
+  c.outputs = {{"o", random_signal()}};
+
+  const auto model = extract_explicit(c, 1u << kLatches);
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const auto stats = fsm.stats();
+  EXPECT_FALSE(model.truncated);
+  EXPECT_DOUBLE_EQ(stats.reachable_states,
+                   static_cast<double>(model.machine.num_states()));
+  EXPECT_DOUBLE_EQ(stats.transitions,
+                   static_cast<double>(model.machine.num_defined_transitions()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymExplicitAgreement, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace simcov::sym
