@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpp_tour_cost.dir/bench_cpp_tour_cost.cpp.o"
+  "CMakeFiles/bench_cpp_tour_cost.dir/bench_cpp_tour_cost.cpp.o.d"
+  "bench_cpp_tour_cost"
+  "bench_cpp_tour_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpp_tour_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

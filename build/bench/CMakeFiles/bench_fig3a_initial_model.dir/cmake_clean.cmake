@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_initial_model.dir/bench_fig3a_initial_model.cpp.o"
+  "CMakeFiles/bench_fig3a_initial_model.dir/bench_fig3a_initial_model.cpp.o.d"
+  "bench_fig3a_initial_model"
+  "bench_fig3a_initial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_initial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_abstraction_ladder.dir/bench_fig3b_abstraction_ladder.cpp.o"
+  "CMakeFiles/bench_fig3b_abstraction_ladder.dir/bench_fig3b_abstraction_ladder.cpp.o.d"
+  "bench_fig3b_abstraction_ladder"
+  "bench_fig3b_abstraction_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_abstraction_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

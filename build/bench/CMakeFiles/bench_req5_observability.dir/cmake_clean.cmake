@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_req5_observability.dir/bench_req5_observability.cpp.o"
+  "CMakeFiles/bench_req5_observability.dir/bench_req5_observability.cpp.o.d"
+  "bench_req5_observability"
+  "bench_req5_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_req5_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symbolic_scaling.dir/bench_symbolic_scaling.cpp.o"
+  "CMakeFiles/bench_symbolic_scaling.dir/bench_symbolic_scaling.cpp.o.d"
+  "bench_symbolic_scaling"
+  "bench_symbolic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symbolic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_error_coverage.dir/bench_thm3_error_coverage.cpp.o"
+  "CMakeFiles/bench_thm3_error_coverage.dir/bench_thm3_error_coverage.cpp.o.d"
+  "bench_thm3_error_coverage"
+  "bench_thm3_error_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_error_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstraction_ladder.dir/abstraction_ladder.cpp.o"
+  "CMakeFiles/abstraction_ladder.dir/abstraction_ladder.cpp.o.d"
+  "abstraction_ladder"
+  "abstraction_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstraction_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

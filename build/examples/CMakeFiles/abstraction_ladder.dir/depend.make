@@ -1,0 +1,2 @@
+# Empty dependencies file for abstraction_ladder.
+# This may be replaced when dependencies are built.

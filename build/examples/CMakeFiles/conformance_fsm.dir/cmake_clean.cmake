@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_fsm.dir/conformance_fsm.cpp.o"
+  "CMakeFiles/conformance_fsm.dir/conformance_fsm.cpp.o.d"
+  "conformance_fsm"
+  "conformance_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

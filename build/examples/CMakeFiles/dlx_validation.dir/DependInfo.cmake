@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dlx_validation.cpp" "examples/CMakeFiles/dlx_validation.dir/dlx_validation.cpp.o" "gcc" "examples/CMakeFiles/dlx_validation.dir/dlx_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simcov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/simcov_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/testmodel/CMakeFiles/simcov_testmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/simcov_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/simcov_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlx/CMakeFiles/simcov_dlx.dir/DependInfo.cmake"
+  "/root/repo/build/src/distinguish/CMakeFiles/simcov_distinguish.dir/DependInfo.cmake"
+  "/root/repo/build/src/tour/CMakeFiles/simcov_tour.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/simcov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstraction/CMakeFiles/simcov_abstraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/errmodel/CMakeFiles/simcov_errmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/simcov_fsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_validation.dir/dlx_validation.cpp.o"
+  "CMakeFiles/dlx_validation.dir/dlx_validation.cpp.o.d"
+  "dlx_validation"
+  "dlx_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_analysis.dir/symbolic_analysis.cpp.o"
+  "CMakeFiles/symbolic_analysis.dir/symbolic_analysis.cpp.o.d"
+  "symbolic_analysis"
+  "symbolic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

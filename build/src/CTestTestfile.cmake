@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bdd")
+subdirs("graph")
+subdirs("fsm")
+subdirs("tour")
+subdirs("errmodel")
+subdirs("distinguish")
+subdirs("abstraction")
+subdirs("sym")
+subdirs("dlx")
+subdirs("testmodel")
+subdirs("validate")
+subdirs("core")

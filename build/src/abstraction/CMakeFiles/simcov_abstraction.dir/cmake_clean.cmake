@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_abstraction.dir/abstraction.cpp.o"
+  "CMakeFiles/simcov_abstraction.dir/abstraction.cpp.o.d"
+  "libsimcov_abstraction.a"
+  "libsimcov_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

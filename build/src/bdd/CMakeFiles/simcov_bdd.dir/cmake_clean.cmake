@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/simcov_bdd.dir/bdd.cpp.o.d"
+  "libsimcov_bdd.a"
+  "libsimcov_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

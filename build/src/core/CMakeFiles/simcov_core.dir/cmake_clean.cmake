@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_core.dir/campaign.cpp.o"
+  "CMakeFiles/simcov_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/report.cpp.o"
+  "CMakeFiles/simcov_core.dir/report.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/requirements.cpp.o"
+  "CMakeFiles/simcov_core.dir/requirements.cpp.o.d"
+  "libsimcov_core.a"
+  "libsimcov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

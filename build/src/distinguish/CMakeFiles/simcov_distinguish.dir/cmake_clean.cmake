@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_distinguish.dir/distinguish.cpp.o"
+  "CMakeFiles/simcov_distinguish.dir/distinguish.cpp.o.d"
+  "CMakeFiles/simcov_distinguish.dir/wmethod.cpp.o"
+  "CMakeFiles/simcov_distinguish.dir/wmethod.cpp.o.d"
+  "libsimcov_distinguish.a"
+  "libsimcov_distinguish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_distinguish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimcov_distinguish.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simcov_distinguish.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for simcov_distinguish.
+# This may be replaced when dependencies are built.

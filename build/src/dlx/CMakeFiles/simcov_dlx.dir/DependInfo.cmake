@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlx/assembler.cpp" "src/dlx/CMakeFiles/simcov_dlx.dir/assembler.cpp.o" "gcc" "src/dlx/CMakeFiles/simcov_dlx.dir/assembler.cpp.o.d"
+  "/root/repo/src/dlx/isa.cpp" "src/dlx/CMakeFiles/simcov_dlx.dir/isa.cpp.o" "gcc" "src/dlx/CMakeFiles/simcov_dlx.dir/isa.cpp.o.d"
+  "/root/repo/src/dlx/isa_model.cpp" "src/dlx/CMakeFiles/simcov_dlx.dir/isa_model.cpp.o" "gcc" "src/dlx/CMakeFiles/simcov_dlx.dir/isa_model.cpp.o.d"
+  "/root/repo/src/dlx/pipeline.cpp" "src/dlx/CMakeFiles/simcov_dlx.dir/pipeline.cpp.o" "gcc" "src/dlx/CMakeFiles/simcov_dlx.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

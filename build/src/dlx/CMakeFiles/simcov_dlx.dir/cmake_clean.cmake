@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_dlx.dir/assembler.cpp.o"
+  "CMakeFiles/simcov_dlx.dir/assembler.cpp.o.d"
+  "CMakeFiles/simcov_dlx.dir/isa.cpp.o"
+  "CMakeFiles/simcov_dlx.dir/isa.cpp.o.d"
+  "CMakeFiles/simcov_dlx.dir/isa_model.cpp.o"
+  "CMakeFiles/simcov_dlx.dir/isa_model.cpp.o.d"
+  "CMakeFiles/simcov_dlx.dir/pipeline.cpp.o"
+  "CMakeFiles/simcov_dlx.dir/pipeline.cpp.o.d"
+  "libsimcov_dlx.a"
+  "libsimcov_dlx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_dlx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

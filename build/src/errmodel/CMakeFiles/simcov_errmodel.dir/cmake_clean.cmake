@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_errmodel.dir/errmodel.cpp.o"
+  "CMakeFiles/simcov_errmodel.dir/errmodel.cpp.o.d"
+  "libsimcov_errmodel.a"
+  "libsimcov_errmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_errmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simcov_errmodel.
+# This may be replaced when dependencies are built.

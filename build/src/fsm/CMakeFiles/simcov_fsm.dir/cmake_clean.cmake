@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_fsm.dir/mealy.cpp.o"
+  "CMakeFiles/simcov_fsm.dir/mealy.cpp.o.d"
+  "CMakeFiles/simcov_fsm.dir/nondet.cpp.o"
+  "CMakeFiles/simcov_fsm.dir/nondet.cpp.o.d"
+  "libsimcov_fsm.a"
+  "libsimcov_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/simcov_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/simcov_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/min_cost_flow.cpp" "src/graph/CMakeFiles/simcov_graph.dir/min_cost_flow.cpp.o" "gcc" "src/graph/CMakeFiles/simcov_graph.dir/min_cost_flow.cpp.o.d"
+  "/root/repo/src/graph/postman.cpp" "src/graph/CMakeFiles/simcov_graph.dir/postman.cpp.o" "gcc" "src/graph/CMakeFiles/simcov_graph.dir/postman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

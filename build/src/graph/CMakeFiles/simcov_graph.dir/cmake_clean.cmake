@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_graph.dir/digraph.cpp.o"
+  "CMakeFiles/simcov_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/simcov_graph.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/simcov_graph.dir/min_cost_flow.cpp.o.d"
+  "CMakeFiles/simcov_graph.dir/postman.cpp.o"
+  "CMakeFiles/simcov_graph.dir/postman.cpp.o.d"
+  "libsimcov_graph.a"
+  "libsimcov_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

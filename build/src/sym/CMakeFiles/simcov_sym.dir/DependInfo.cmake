@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/logic_network.cpp" "src/sym/CMakeFiles/simcov_sym.dir/logic_network.cpp.o" "gcc" "src/sym/CMakeFiles/simcov_sym.dir/logic_network.cpp.o.d"
+  "/root/repo/src/sym/symbolic_fsm.cpp" "src/sym/CMakeFiles/simcov_sym.dir/symbolic_fsm.cpp.o" "gcc" "src/sym/CMakeFiles/simcov_sym.dir/symbolic_fsm.cpp.o.d"
+  "/root/repo/src/sym/symbolic_tour.cpp" "src/sym/CMakeFiles/simcov_sym.dir/symbolic_tour.cpp.o" "gcc" "src/sym/CMakeFiles/simcov_sym.dir/symbolic_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/simcov_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/simcov_fsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_sym.dir/logic_network.cpp.o"
+  "CMakeFiles/simcov_sym.dir/logic_network.cpp.o.d"
+  "CMakeFiles/simcov_sym.dir/symbolic_fsm.cpp.o"
+  "CMakeFiles/simcov_sym.dir/symbolic_fsm.cpp.o.d"
+  "CMakeFiles/simcov_sym.dir/symbolic_tour.cpp.o"
+  "CMakeFiles/simcov_sym.dir/symbolic_tour.cpp.o.d"
+  "libsimcov_sym.a"
+  "libsimcov_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

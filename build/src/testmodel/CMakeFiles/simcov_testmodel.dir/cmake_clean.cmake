@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_testmodel.dir/control_sim.cpp.o"
+  "CMakeFiles/simcov_testmodel.dir/control_sim.cpp.o.d"
+  "CMakeFiles/simcov_testmodel.dir/testmodel.cpp.o"
+  "CMakeFiles/simcov_testmodel.dir/testmodel.cpp.o.d"
+  "libsimcov_testmodel.a"
+  "libsimcov_testmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_testmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_tour.dir/tour.cpp.o"
+  "CMakeFiles/simcov_tour.dir/tour.cpp.o.d"
+  "libsimcov_tour.a"
+  "libsimcov_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

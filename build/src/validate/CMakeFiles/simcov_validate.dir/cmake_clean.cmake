@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_validate.dir/concretize.cpp.o"
+  "CMakeFiles/simcov_validate.dir/concretize.cpp.o.d"
+  "CMakeFiles/simcov_validate.dir/harness.cpp.o"
+  "CMakeFiles/simcov_validate.dir/harness.cpp.o.d"
+  "libsimcov_validate.a"
+  "libsimcov_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlx_assembler.dir/dlx_assembler_test.cpp.o"
+  "CMakeFiles/test_dlx_assembler.dir/dlx_assembler_test.cpp.o.d"
+  "test_dlx_assembler"
+  "test_dlx_assembler.pdb"
+  "test_dlx_assembler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlx_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlx_isa.dir/dlx_isa_test.cpp.o"
+  "CMakeFiles/test_dlx_isa.dir/dlx_isa_test.cpp.o.d"
+  "test_dlx_isa"
+  "test_dlx_isa.pdb"
+  "test_dlx_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlx_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlx_pipeline.dir/dlx_pipeline_test.cpp.o"
+  "CMakeFiles/test_dlx_pipeline.dir/dlx_pipeline_test.cpp.o.d"
+  "test_dlx_pipeline"
+  "test_dlx_pipeline.pdb"
+  "test_dlx_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

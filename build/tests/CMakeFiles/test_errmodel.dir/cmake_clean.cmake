@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_errmodel.dir/errmodel_test.cpp.o"
+  "CMakeFiles/test_errmodel.dir/errmodel_test.cpp.o.d"
+  "test_errmodel"
+  "test_errmodel.pdb"
+  "test_errmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_errmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_tour.dir/symbolic_tour_test.cpp.o"
+  "CMakeFiles/test_symbolic_tour.dir/symbolic_tour_test.cpp.o.d"
+  "test_symbolic_tour"
+  "test_symbolic_tour.pdb"
+  "test_symbolic_tour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

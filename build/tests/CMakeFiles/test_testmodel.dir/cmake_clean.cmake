@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testmodel.dir/testmodel_test.cpp.o"
+  "CMakeFiles/test_testmodel.dir/testmodel_test.cpp.o.d"
+  "test_testmodel"
+  "test_testmodel.pdb"
+  "test_testmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tour.dir/tour_test.cpp.o"
+  "CMakeFiles/test_tour.dir/tour_test.cpp.o.d"
+  "test_tour"
+  "test_tour.pdb"
+  "test_tour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wmethod.dir/wmethod_test.cpp.o"
+  "CMakeFiles/test_wmethod.dir/wmethod_test.cpp.o.d"
+  "test_wmethod"
+  "test_wmethod.pdb"
+  "test_wmethod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wmethod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_fsm[1]_include.cmake")
+include("/root/repo/build/tests/test_tour[1]_include.cmake")
+include("/root/repo/build/tests/test_errmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_distinguish[1]_include.cmake")
+include("/root/repo/build/tests/test_abstraction[1]_include.cmake")
+include("/root/repo/build/tests/test_sym[1]_include.cmake")
+include("/root/repo/build/tests/test_dlx_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_dlx_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_testmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_dlx_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_wmethod[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic_tour[1]_include.cmake")
