@@ -54,8 +54,8 @@ int main() {
     std::printf("  %-26s %10u %10zu %6zu/%-5zu %9.1f%%\n",
                 expose ? "dest addrs observable" : "dest addrs hidden",
                 em.machine.num_states(), r.test_length, r.exposed, r.mutants,
-                100.0 * r.exposure_rate());
-    (expose ? rate_with : rate_without) = r.exposure_rate();
+                100.0 * r.exposure_rate().value_or(0.0));
+    (expose ? rate_with : rate_without) = r.exposure_rate().value_or(0.0);
   }
   bench::row("observability improves exposure",
              rate_with > rate_without ? "yes" : "NO (unexpected)");

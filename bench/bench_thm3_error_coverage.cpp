@@ -72,7 +72,7 @@ int main() {
     if (method == TestMethod::kTransitionTourSet) tour_len = r.test_length;
     std::printf("  %-18s %10zu %10zu %6zu/%-5zu %9.1f%% %6zu\n",
                 core::method_name(method), r.sequences, r.test_length,
-                r.exposed, r.mutants, 100.0 * r.exposure_rate(),
+                r.exposed, r.mutants, 100.0 * r.exposure_rate().value_or(0.0),
                 r.equivalent);
   }
 
@@ -98,7 +98,7 @@ int main() {
         minimized.machine, minimized.machine.initial_state(), opt);
     std::printf("  %-18s %10zu %10zu %6zu/%-5zu %9.1f%%\n",
                 core::method_name(method), r.sequences, r.test_length,
-                r.exposed, r.mutants, 100.0 * r.exposure_rate());
+                r.exposed, r.mutants, 100.0 * r.exposure_rate().value_or(0.0));
   }
 
   // ---- Level 2: implementation-level campaigns ------------------------------

@@ -1,11 +1,14 @@
 #include "core/campaign.hpp"
 
-#include <random>
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "distinguish/distinguish.hpp"
 #include "distinguish/wmethod.hpp"
 #include "errmodel/errmodel.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "tour/tour.hpp"
 #include "validate/concretize.hpp"
@@ -31,7 +34,30 @@ std::size_t CampaignResult::bugs_exposed() const {
   return n;
 }
 
+std::uint64_t CampaignResult::total_impl_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& r : clean_runs) n += r.impl_cycles;
+  for (const auto& e : exposures) n += e.impl_cycles;
+  return n;
+}
+
 namespace {
+
+/// Stopwatch for the per-phase wall times of PhaseTimings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the last lap(), and restarts.
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Generates the test set for a method over an explicit machine.
 tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
@@ -58,7 +84,11 @@ tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
     }
     case TestMethod::kRandomWalk: {
       set.sequences.push_back(
-          tour::random_walk(machine, start, random_length, seed).inputs);
+          tour::random_walk(machine, start,
+                            random_length,
+                            runtime::derive_stream(
+                                seed, runtime::Stream::kWalkStream))
+              .inputs);
       return set;
     }
     case TestMethod::kWMethod: {
@@ -102,6 +132,8 @@ void extend_sequence(const fsm::MealyMachine& machine, fsm::StateId start,
 
 CampaignResult run_campaign(const CampaignOptions& options,
                             std::span<const dlx::PipelineBug> bugs) {
+  Stopwatch total;
+  Stopwatch phase;
   CampaignResult result;
   const auto model =
       testmodel::build_dlx_control_model(options.model_options);
@@ -114,6 +146,15 @@ CampaignResult run_campaign(const CampaignOptions& options,
   result.model_states = explicit_model.machine.num_states();
   result.model_transitions =
       explicit_model.machine.num_defined_transitions();
+  result.timings.model_build_seconds = phase.lap();
+
+  if (options.collect_symbolic_stats) {
+    bdd::BddManager mgr;
+    sym::SymbolicFsm symbolic(mgr, model.circuit);
+    result.symbolic_stats = symbolic.stats();
+    result.bdd_stats = mgr.stats();
+    result.timings.symbolic_seconds = phase.lap();
+  }
 
   const tour::TourSet set =
       generate_test_set(explicit_model.machine, 0, options.method,
@@ -124,48 +165,81 @@ CampaignResult run_campaign(const CampaignOptions& options,
       tour::evaluate_coverage_set(explicit_model.machine, set);
   result.state_coverage = coverage.state_coverage();
   result.transition_coverage = coverage.transition_coverage();
+  result.timings.tour_seconds = phase.lap();
+
+  // One worker pool for every sharded loop below. Each loop writes into
+  // pre-sized per-index slots, so the outcome is independent of scheduling.
+  runtime::ThreadPool pool(options.threads);
 
   // Concretize every sequence.
-  std::vector<validate::ConcretizedProgram> programs;
-  programs.reserve(set.sequences.size());
-  for (const auto& seq : set.sequences) {
+  std::vector<validate::ConcretizedProgram> programs(set.sequences.size());
+  pool.for_each_index(set.sequences.size(), [&](std::size_t i) {
+    const auto& seq = set.sequences[i];
     std::vector<testmodel::ControlInput> steps;
     steps.reserve(seq.size());
     for (fsm::InputId sym_id : seq) {
       steps.push_back(validate::decode_control_input(
           model, explicit_model.input_bits[sym_id]));
     }
-    programs.push_back(validate::concretize_tour(model, steps));
-    result.total_instructions += programs.back().instructions.size();
+    programs[i] = validate::concretize_tour(model, steps);
+  });
+  for (const auto& prog : programs) {
+    result.total_instructions += prog.instructions.size();
   }
+  result.timings.concretize_seconds = phase.lap();
 
   // Clean run: the bug-free implementation must pass everything.
-  result.clean_pass = true;
-  for (const auto& prog : programs) {
-    if (!validate::run_validation(prog).passed) {
-      result.clean_pass = false;
-      break;
-    }
-  }
+  result.clean_runs.resize(programs.size());
+  pool.for_each_index(programs.size(), [&](std::size_t i) {
+    const auto r =
+        validate::run_validation(programs[i], {}, options.max_cycles);
+    result.clean_runs[i] = RunMetrics{i, r.impl_cycles,
+                                      r.checkpoints_compared, r.passed,
+                                      r.cycle_budget_exhausted};
+  });
+  result.clean_pass =
+      std::all_of(result.clean_runs.begin(), result.clean_runs.end(),
+                  [](const RunMetrics& r) { return r.passed; });
 
-  // Per-bug exposure.
-  for (const dlx::PipelineBug bug : bugs) {
-    BugExposure exposure{bug, false};
-    dlx::PipelineConfig config{{bug}};
-    for (const auto& prog : programs) {
-      if (!validate::run_validation(prog, config).passed) {
+  // Per-bug exposure: independent across bugs; within a bug the programs
+  // run in order with early exit at the first exposing one, exactly like
+  // the serial engine. Budget-exhausted runs never count as exposure.
+  result.exposures.resize(bugs.size());
+  pool.for_each_index(bugs.size(), [&](std::size_t b) {
+    BugExposure exposure;
+    exposure.bug = bugs[b];
+    const dlx::PipelineConfig config{{bugs[b]}};
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      const auto r =
+          validate::run_validation(programs[i], config, options.max_cycles);
+      ++exposure.programs_run;
+      exposure.impl_cycles += r.impl_cycles;
+      if (r.cycle_budget_exhausted) exposure.budget_exhausted = true;
+      if (r.error_detected()) {
         exposure.exposed = true;
+        exposure.exposing_sequence = i;
         break;
       }
     }
-    result.exposures.push_back(exposure);
+    result.exposures[b] = exposure;
+  });
+  result.timings.simulate_seconds = phase.lap();
+
+  for (const auto& r : result.clean_runs) {
+    if (r.budget_exhausted) ++result.runs_inconclusive;
   }
+  for (const auto& e : result.exposures) {
+    if (e.budget_exhausted) ++result.runs_inconclusive;
+  }
+  result.timings.total_seconds = total.lap();
   return result;
 }
 
 MutantCoverageResult evaluate_mutant_coverage(
     const fsm::MealyMachine& machine, fsm::StateId start,
     const MutantCoverageOptions& options) {
+  Stopwatch total;
+  Stopwatch phase;
   MutantCoverageResult result;
   tour::TourSet set = generate_test_set(machine, start, options.method,
                                         options.random_length, options.seed);
@@ -176,30 +250,52 @@ MutantCoverageResult evaluate_mutant_coverage(
   }
   result.sequences = set.sequences.size();
   result.test_length = set.total_length();
+  result.timings.tour_seconds = phase.lap();
 
+  // Mutant sampling draws from its own stream: deriving it from the walk's
+  // seed (the old `seed ^ 0x9e3779b9` scheme) correlates the sampled error
+  // space with the random tests meant to find it.
   const auto mutants = errmodel::sample_mutations(
       machine, start, machine.output_alphabet_size(), options.mutant_sample,
-      options.seed ^ 0x9e3779b9u);
-  for (const auto& mut : mutants) {
+      runtime::derive_stream(options.seed, runtime::Stream::kMutantStream));
+
+  // Replay every mutant against the test set, sharded; per-mutant verdicts
+  // land in their own slot and are folded in sample order afterwards.
+  struct Verdict {
     bool exposed = false;
-    for (const auto& seq : set.sequences) {
-      if (errmodel::exposes(machine, mut, start, seq)) {
-        exposed = true;
-        break;
-      }
-    }
-    if (!exposed && options.exclude_equivalent) {
-      // An unexposed mutant may simply be no error at all: check full
-      // behavioural equivalence before counting it against the method.
-      const auto mutant = errmodel::apply_mutation(machine, mut);
-      if (fsm::check_equivalence(machine, start, mutant, start).equivalent) {
-        ++result.equivalent;
-        continue;
-      }
+    bool equivalent = false;
+  };
+  std::vector<Verdict> verdicts(mutants.size());
+  runtime::parallel_for_each(
+      options.threads, mutants.size(), [&](std::size_t m) {
+        const auto& mut = mutants[m];
+        Verdict v;
+        for (const auto& seq : set.sequences) {
+          if (errmodel::exposes(machine, mut, start, seq)) {
+            v.exposed = true;
+            break;
+          }
+        }
+        if (!v.exposed && options.exclude_equivalent) {
+          // An unexposed mutant may simply be no error at all: check full
+          // behavioural equivalence before counting it against the method.
+          const auto mutant = errmodel::apply_mutation(machine, mut);
+          v.equivalent =
+              fsm::check_equivalence(machine, start, mutant, start)
+                  .equivalent;
+        }
+        verdicts[m] = v;
+      });
+  for (const auto& v : verdicts) {
+    if (v.equivalent) {
+      ++result.equivalent;
+      continue;
     }
     ++result.mutants;
-    if (exposed) ++result.exposed;
+    if (v.exposed) ++result.exposed;
   }
+  result.timings.simulate_seconds = phase.lap();
+  result.timings.total_seconds = total.lap();
   return result;
 }
 

@@ -10,14 +10,23 @@
 // The mutant-coverage evaluator performs the same comparison purely at the
 // test-model level with the paper's error model (output/transfer mutations),
 // which is what Theorem 3 actually speaks about.
+//
+// Both experiments are embarrassingly parallel (one simulation per injected
+// bug, one replay per sampled mutant) and shard their hot loops across a
+// runtime::ThreadPool. Every randomized phase draws from its own RNG stream
+// derived from (options.seed, stream tag) — see runtime/rng.hpp — so results
+// are bit-identical at any thread count, including 1.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "dlx/pipeline.hpp"
 #include "fsm/mealy.hpp"
+#include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
 namespace simcov::core {
@@ -31,6 +40,26 @@ enum class TestMethod : std::uint8_t {
 
 [[nodiscard]] const char* method_name(TestMethod method);
 
+/// Wall-clock seconds spent in each campaign phase. Only the phases a given
+/// experiment runs are filled; the rest stay zero.
+struct PhaseTimings {
+  double model_build_seconds = 0.0;  ///< circuit build + explicit extraction
+  double symbolic_seconds = 0.0;     ///< optional BDD reachability snapshot
+  double tour_seconds = 0.0;         ///< test-set generation + coverage eval
+  double concretize_seconds = 0.0;   ///< tour -> DLX program translation
+  double simulate_seconds = 0.0;     ///< spec-vs-impl runs / mutant replays
+  double total_seconds = 0.0;
+};
+
+/// Telemetry of one spec-vs-impl simulation run (one test-set program).
+struct RunMetrics {
+  std::size_t sequence = 0;  ///< index of the program within the test set
+  std::uint64_t impl_cycles = 0;
+  std::size_t checkpoints = 0;  ///< retire checkpoints compared
+  bool passed = false;
+  bool budget_exhausted = false;  ///< hit max_cycles: inconclusive
+};
+
 struct CampaignOptions {
   testmodel::TestModelOptions model_options;
   TestMethod method = TestMethod::kTransitionTourSet;
@@ -38,11 +67,26 @@ struct CampaignOptions {
   /// Length of the random-walk baseline.
   std::size_t random_length = 2000;
   std::uint64_t seed = 1;
+  /// Worker threads for the concretization/simulation loops
+  /// (0 = one per hardware thread). Results are identical at any setting.
+  std::size_t threads = 0;
+  /// Per-run cycle budget handed to the validation harness.
+  std::size_t max_cycles = 1u << 20;
+  /// Also build the symbolic (BDD) view of the test model and snapshot its
+  /// statistics into the result. Costs one reachability fixpoint.
+  bool collect_symbolic_stats = false;
 };
 
 struct BugExposure {
   dlx::PipelineBug bug;
   bool exposed = false;
+  /// Index of the first test-set program that exposed the bug.
+  std::optional<std::size_t> exposing_sequence;
+  std::size_t programs_run = 0;   ///< simulations until exposure (or all)
+  std::uint64_t impl_cycles = 0;  ///< implementation cycles across them
+  /// Some run against this bug hit the cycle budget (inconclusive; never
+  /// counted as exposure).
+  bool budget_exhausted = false;
 };
 
 struct CampaignResult {
@@ -59,8 +103,17 @@ struct CampaignResult {
   /// The correct implementation passes every program of the test set.
   bool clean_pass = false;
   std::vector<BugExposure> exposures;
+  /// Telemetry of each clean (bug-free) run, one per test-set program.
+  std::vector<RunMetrics> clean_runs;
+  /// Runs (clean + per-bug) that exhausted the cycle budget.
+  std::size_t runs_inconclusive = 0;
+  PhaseTimings timings;
+  /// Filled when CampaignOptions::collect_symbolic_stats is set.
+  std::optional<sym::SymbolicFsmStats> symbolic_stats;
+  std::optional<bdd::BddStats> bdd_stats;
 
   [[nodiscard]] std::size_t bugs_exposed() const;
+  [[nodiscard]] std::uint64_t total_impl_cycles() const;
 };
 
 /// Runs a full campaign against each bug in `bugs` (plus a clean run).
@@ -83,6 +136,9 @@ struct MutantCoverageOptions {
   /// (no test can expose them) and report them separately instead of
   /// counting them against the method.
   bool exclude_equivalent = false;
+  /// Worker threads for the per-mutant replay loop (0 = one per hardware
+  /// thread). Results are identical at any setting.
+  std::size_t threads = 0;
 };
 
 struct MutantCoverageResult {
@@ -91,11 +147,14 @@ struct MutantCoverageResult {
   std::size_t equivalent = 0;  ///< sampled mutants with identical behaviour
   std::size_t sequences = 0;
   std::size_t test_length = 0;
+  PhaseTimings timings;
 
-  [[nodiscard]] double exposure_rate() const {
-    return mutants == 0 ? 1.0
-                        : static_cast<double>(exposed) /
-                              static_cast<double>(mutants);
+  /// Fraction of real sampled mutants the test set exposed. Empty when the
+  /// sampler produced no real mutants: "nothing to expose" is not "complete
+  /// coverage", and must not read as 100%.
+  [[nodiscard]] std::optional<double> exposure_rate() const {
+    if (mutants == 0) return std::nullopt;
+    return static_cast<double>(exposed) / static_cast<double>(mutants);
   }
 };
 

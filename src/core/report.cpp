@@ -1,6 +1,8 @@
 #include "core/report.hpp"
 
+#include <cstdint>
 #include <sstream>
+#include <type_traits>
 
 namespace simcov::core {
 
@@ -52,9 +54,25 @@ std::string format_report(const CampaignResult& result) {
   os << "  bugs exposed: " << result.bugs_exposed() << "/"
      << result.exposures.size() << "\n";
   for (const auto& e : result.exposures) {
-    os << "    " << (e.exposed ? "EXPOSED " : "missed  ") << bug_name(e.bug)
+    os << "    " << (e.exposed ? "EXPOSED " : "missed  ") << bug_name(e.bug);
+    if (e.exposing_sequence.has_value()) {
+      os << " (sequence " << *e.exposing_sequence << ", " << e.programs_run
+         << " runs)";
+    }
+    if (e.budget_exhausted) os << " [cycle budget hit]";
+    os << "\n";
+  }
+  if (result.runs_inconclusive > 0) {
+    os << "  inconclusive runs (cycle budget): " << result.runs_inconclusive
        << "\n";
   }
+  os.precision(3);
+  os << "  wall time: " << result.timings.total_seconds << "s (model "
+     << result.timings.model_build_seconds << "s, tour "
+     << result.timings.tour_seconds << "s, concretize "
+     << result.timings.concretize_seconds << "s, simulate "
+     << result.timings.simulate_seconds << "s), "
+     << result.total_impl_cycles() << " impl cycles\n";
   return os.str();
 }
 
@@ -83,12 +101,232 @@ std::string format_line(TestMethod method, const MutantCoverageResult& r) {
   std::ostringstream os;
   os << method_name(method) << ": " << r.exposed << "/" << r.mutants;
   os.precision(3);
-  os << " (" << 100.0 * r.exposure_rate() << "%) over " << r.sequences
-     << " sequences, " << r.test_length << " steps";
+  const auto rate = r.exposure_rate();
+  if (rate.has_value()) {
+    os << " (" << 100.0 * *rate << "%)";
+  } else {
+    os << " (n/a: no real mutants sampled)";
+  }
+  os << " over " << r.sequences << " sequences, " << r.test_length
+     << " steps";
   if (r.equivalent > 0) {
     os << " [" << r.equivalent << " equivalent mutants excluded]";
   }
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON assembly: objects/arrays with comma tracking. All keys in
+/// this module are literals and all strings ASCII, so no escaping table is
+/// needed beyond the basics.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    sep();
+    os_ << '{';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& begin_object(const char* key) {
+    sep();
+    write_key(key);
+    os_ << '{';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << '}';
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array(const char* key) {
+    sep();
+    write_key(key);
+    os_ << '[';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << ']';
+    first_ = false;
+    return *this;
+  }
+  /// Begins an unnamed object (array element).
+  JsonWriter& element_object() { return begin_object(); }
+
+  JsonWriter& field(const char* key, const std::string& value) {
+    sep();
+    write_key(key);
+    os_ << '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+    return *this;
+  }
+  JsonWriter& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const char* key, bool value) {
+    sep();
+    write_key(key);
+    os_ << (value ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const char* key, double value) {
+    sep();
+    write_key(key);
+    os_ << value;
+    return *this;
+  }
+  /// All counters in the reports are unsigned; one template avoids the
+  /// size_t/uint64_t overload collision on LP64 platforms.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(const char* key, T value) {
+    sep();
+    write_key(key);
+    os_ << static_cast<std::uint64_t>(value);
+    return *this;
+  }
+  JsonWriter& null_field(const char* key) {
+    sep();
+    write_key(key);
+    os_ << "null";
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  /// Emits the separating comma unless this is the first element at the
+  /// current nesting level. Closing a container makes it count as an
+  /// emitted element of its parent (end_* resets first_ to false).
+  void sep() {
+    if (!first_) os_ << ',';
+    first_ = false;
+  }
+  void write_key(const char* key) { os_ << '"' << key << "\":"; }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+void emit_timings(JsonWriter& w, const PhaseTimings& t) {
+  w.begin_object("timings")
+      .field("model_build_seconds", t.model_build_seconds)
+      .field("symbolic_seconds", t.symbolic_seconds)
+      .field("tour_seconds", t.tour_seconds)
+      .field("concretize_seconds", t.concretize_seconds)
+      .field("simulate_seconds", t.simulate_seconds)
+      .field("total_seconds", t.total_seconds)
+      .end_object();
+}
+
+}  // namespace
+
+std::string to_json(const CampaignResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("report", "campaign");
+  w.begin_object("model")
+      .field("latches", result.latches)
+      .field("primary_inputs", result.primary_inputs)
+      .field("states", result.model_states)
+      .field("transitions", result.model_transitions)
+      .field("truncated", result.model_truncated)
+      .end_object();
+  w.begin_object("test_set")
+      .field("sequences", result.sequences)
+      .field("steps", result.test_length)
+      .field("instructions", result.total_instructions)
+      .field("state_coverage", result.state_coverage)
+      .field("transition_coverage", result.transition_coverage)
+      .end_object();
+  w.field("clean_pass", result.clean_pass);
+  w.field("bugs_exposed", result.bugs_exposed());
+  w.field("runs_inconclusive", result.runs_inconclusive);
+  w.field("total_impl_cycles", result.total_impl_cycles());
+  w.begin_array("clean_runs");
+  for (const auto& r : result.clean_runs) {
+    w.element_object()
+        .field("sequence", r.sequence)
+        .field("impl_cycles", r.impl_cycles)
+        .field("checkpoints", r.checkpoints)
+        .field("passed", r.passed)
+        .field("budget_exhausted", r.budget_exhausted)
+        .end_object();
+  }
+  w.end_array();
+  w.begin_array("exposures");
+  for (const auto& e : result.exposures) {
+    w.element_object()
+        .field("bug", bug_name(e.bug))
+        .field("exposed", e.exposed)
+        .field("programs_run", e.programs_run)
+        .field("impl_cycles", e.impl_cycles)
+        .field("budget_exhausted", e.budget_exhausted);
+    if (e.exposing_sequence.has_value()) {
+      w.field("exposing_sequence", *e.exposing_sequence);
+    } else {
+      w.null_field("exposing_sequence");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  emit_timings(w, result.timings);
+  if (result.symbolic_stats.has_value()) {
+    const auto& s = *result.symbolic_stats;
+    w.begin_object("symbolic")
+        .field("transition_relation_nodes", s.transition_relation_nodes)
+        .field("reachability_iterations", s.reachability_iterations)
+        .field("reachable_states", s.reachable_states)
+        .field("transitions", s.transitions)
+        .field("valid_input_combinations", s.valid_input_combinations)
+        .end_object();
+  }
+  if (result.bdd_stats.has_value()) {
+    const auto& b = *result.bdd_stats;
+    w.begin_object("bdd")
+        .field("allocated_nodes", b.allocated_nodes)
+        .field("live_nodes", b.live_nodes)
+        .field("unique_lookups", b.unique_lookups)
+        .field("unique_hits", b.unique_hits)
+        .field("cache_lookups", b.cache_lookups)
+        .field("cache_hits", b.cache_hits)
+        .field("gc_runs", b.gc_runs)
+        .end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(TestMethod method, const MutantCoverageResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("report", "mutant_coverage");
+  w.field("method", method_name(method));
+  w.field("mutants", result.mutants);
+  w.field("exposed", result.exposed);
+  w.field("equivalent", result.equivalent);
+  const auto rate = result.exposure_rate();
+  if (rate.has_value()) {
+    w.field("exposure_rate", *rate);
+  } else {
+    w.null_field("exposure_rate");
+  }
+  w.field("sequences", result.sequences);
+  w.field("test_length", result.test_length);
+  emit_timings(w, result.timings);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace simcov::core

@@ -17,9 +17,27 @@ std::string format_report(const RequirementsReport& report);
 
 /// One line per mutant-coverage run, e.g.
 /// "transition-tour: 265/273 (97.1%) over 19 sequences, 40773 steps".
+/// An empty sample prints "n/a" instead of a rate.
 std::string format_line(TestMethod method, const MutantCoverageResult& r);
 
 /// Short display name of a pipeline bug, e.g. "missing load-use interlock".
 const char* bug_name(dlx::PipelineBug bug);
+
+// ---------------------------------------------------------------------------
+// Machine-readable reports
+// ---------------------------------------------------------------------------
+//
+// Single JSON object per result, stable keys, no external dependencies.
+// Schema (see DESIGN.md "Structured run reports"):
+//   campaign: model{...}, test_set{...}, timings{...}, clean_runs[...],
+//             exposures[...], runs_inconclusive, bdd{...}?, symbolic{...}?
+//   mutant coverage: method, mutants, exposed, equivalent, exposure_rate
+//             (null when no real mutants were sampled), timings{...}
+
+/// JSON report of a full campaign.
+std::string to_json(const CampaignResult& result);
+
+/// JSON report of one mutant-coverage run.
+std::string to_json(TestMethod method, const MutantCoverageResult& result);
 
 }  // namespace simcov::core

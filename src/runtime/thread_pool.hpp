@@ -1,0 +1,80 @@
+// A small shared-counter thread pool for embarrassingly parallel campaign
+// loops (one spec-vs-impl simulation per injected bug, one model replay per
+// sampled mutant — see campaign.cpp).
+//
+// Scheduling is dynamic: workers (and the calling thread, which always
+// participates) pull the next index from a shared atomic counter, so
+// uneven run lengths — a mutant exposed by the first sequence vs one that
+// survives the whole test set — balance automatically without static
+// chunking. Correctness never depends on the schedule: callers must write
+// results into per-index slots, which keeps output bit-identical at any
+// thread count.
+//
+// Exceptions thrown by a task are captured (first one wins), the remaining
+// indices are drained without running, and the exception is rethrown on the
+// calling thread once the loop has quiesced.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simcov::runtime {
+
+/// Resolves a thread-count knob: 0 means "use the hardware", anything else
+/// is taken literally. Always at least 1.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_threads(threads) - 1` workers; the calling thread is
+  /// the remaining lane, so `ThreadPool(1)` runs loops inline with no
+  /// threading machinery at all.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes (workers + the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) ... fn(count-1), each exactly once, across all lanes.
+  /// Blocks until every index has finished; rethrows the first task
+  /// exception. Not reentrant: do not call from inside a task.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;  // first failure; guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void work(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  ///< workers wait for a new job
+  std::condition_variable done_cv_;  ///< the caller waits for quiescence
+  Job* job_ = nullptr;               ///< non-null while a loop is active
+  std::uint64_t generation_ = 0;     ///< bumped per for_each_index call
+  std::size_t active_ = 0;           ///< workers currently inside a job
+  bool stop_ = false;
+};
+
+/// One-shot helper: runs fn(0..count-1) on a transient pool of
+/// `resolve_threads(threads)` lanes. `threads <= 1` or `count <= 1` runs
+/// inline without spawning anything.
+void parallel_for_each(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace simcov::runtime

@@ -10,9 +10,11 @@ constexpr std::size_t kDataSize = 1u << 16;
 
 ValidationResult compare_traces(const std::vector<dlx::RetireInfo>& spec,
                                 const std::vector<dlx::RetireInfo>& impl,
-                                std::uint64_t impl_cycles) {
+                                std::uint64_t impl_cycles,
+                                bool budget_exhausted) {
   ValidationResult result;
   result.impl_cycles = impl_cycles;
+  result.cycle_budget_exhausted = budget_exhausted;
   const std::size_t n = std::min(spec.size(), impl.size());
   for (std::size_t k = 0; k < n; ++k) {
     if (!(spec[k] == impl[k])) {
@@ -23,6 +25,11 @@ ValidationResult compare_traces(const std::vector<dlx::RetireInfo>& spec,
   }
   result.checkpoints_compared = n;
   if (spec.size() != impl.size()) {
+    if (budget_exhausted) {
+      // One stream was truncated by the budget, not by a halt: a length
+      // mismatch carries no information (inconclusive, not a divergence).
+      return result;
+    }
     Divergence d;
     d.index = n;
     if (n < spec.size()) d.spec = spec[n];
@@ -30,7 +37,7 @@ ValidationResult compare_traces(const std::vector<dlx::RetireInfo>& spec,
     result.divergence = d;
     return result;
   }
-  result.passed = true;
+  result.passed = !budget_exhausted;
   return result;
 }
 
@@ -64,7 +71,16 @@ ValidationResult run_validation(const ConcretizedProgram& program,
     result.divergence = Divergence{};
     return result;
   }
-  return compare_traces(spec_trace, impl_trace, impl.cycles());
+  // Budget exhaustion means the model consumed every cycle it was given and
+  // still had work left. Running off the program end (step() returning
+  // nothing with cycles to spare) is a genuine end of stream, not
+  // exhaustion, and keeps its historical length-mismatch-is-divergence
+  // semantics.
+  const bool spec_budget =
+      !spec.halted() && spec_trace.size() >= max_cycles;
+  const bool impl_budget = !impl.halted() && impl.cycles() >= max_cycles;
+  return compare_traces(spec_trace, impl_trace, impl.cycles(),
+                        spec_budget || impl_budget);
 }
 
 ValidationResult run_validation(const std::vector<dlx::Instruction>& program,
@@ -84,6 +100,12 @@ std::string describe(const ValidationResult& result) {
   }
   if (result.impl_exception.has_value()) {
     os << "FAIL: implementation crashed: " << *result.impl_exception;
+    return os.str();
+  }
+  if (result.cycle_budget_exhausted && !result.divergence.has_value()) {
+    os << "INCONCLUSIVE: cycle budget exhausted after "
+       << result.checkpoints_compared << " matching checkpoints ("
+       << result.impl_cycles << " cycles)";
     return os.str();
   }
   os << "FAIL at checkpoint " << (result.divergence ? result.divergence->index

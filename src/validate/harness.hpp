@@ -32,6 +32,20 @@ struct ValidationResult {
   /// Set when the implementation model crashed (e.g. a corrupted address
   /// reached the memory stage). A crash counts as a detected error.
   std::optional<std::string> impl_exception;
+  /// Set when either model ran out of its cycle budget before halting. The
+  /// run is then *inconclusive*, not failed: the compared checkpoint prefix
+  /// matched (otherwise `divergence` is set), and a stream-length mismatch
+  /// is expected — the spec retires one instruction per step while the
+  /// pipeline needs several cycles — so it is not reported as a divergence.
+  bool cycle_budget_exhausted = false;
+
+  /// True when the run produced positive evidence of a design error — a
+  /// checkpoint divergence or an implementation crash. Campaigns must count
+  /// exposure with this, not with `!passed`, or budget-limited runs get
+  /// misclassified as exposed bugs.
+  [[nodiscard]] bool error_detected() const {
+    return divergence.has_value() || impl_exception.has_value();
+  }
 };
 
 /// Runs both models on `program` (with shared memory/register presets) and

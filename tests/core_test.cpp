@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "errmodel/errmodel.hpp"
+#include "runtime/rng.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "tour/tour.hpp"
 
@@ -131,8 +135,11 @@ TEST(MutantCoverage, TransitionTourBeatsBaselines) {
   tt.method = TestMethod::kTransitionTourSet;
   tt.k_extension = 5;
   tt.mutant_sample = 150;
+  // Fair denominator: behaviourally equivalent mutants are no error at all
+  // and would otherwise depress every method's rate by the same noise.
+  tt.exclude_equivalent = true;
   const auto tour_result = evaluate_mutant_coverage(em.machine, 0, tt);
-  EXPECT_EQ(tour_result.mutants, 150u);
+  EXPECT_EQ(tour_result.mutants + tour_result.equivalent, 150u);
 
   MutantCoverageOptions st = tt;
   st.method = TestMethod::kStateTour;
@@ -145,9 +152,10 @@ TEST(MutantCoverage, TransitionTourBeatsBaselines) {
 
   // The transition tour exposes the most mutants; the state tour and the
   // random walk miss transitions they never exercise.
-  EXPECT_GE(tour_result.exposure_rate(), 0.85);
-  EXPECT_GT(tour_result.exposure_rate(), state_result.exposure_rate());
-  EXPECT_GE(tour_result.exposure_rate(), random_result.exposure_rate());
+  ASSERT_TRUE(tour_result.exposure_rate().has_value());
+  EXPECT_GE(*tour_result.exposure_rate(), 0.85);
+  EXPECT_GT(*tour_result.exposure_rate(), *state_result.exposure_rate());
+  EXPECT_GE(*tour_result.exposure_rate(), *random_result.exposure_rate());
 }
 
 TEST(MutantCoverage, ExcitedButUnexposedWithoutExtension) {
@@ -165,7 +173,8 @@ TEST(MutantCoverage, ExcitedButUnexposedWithoutExtension) {
   with.k_extension = 1;
   with.mutant_sample = 1000;  // all mutants of this small machine
   const auto full = evaluate_mutant_coverage(m, 0, with);
-  EXPECT_DOUBLE_EQ(full.exposure_rate(), 1.0);
+  ASSERT_TRUE(full.exposure_rate().has_value());
+  EXPECT_DOUBLE_EQ(*full.exposure_rate(), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -214,6 +223,147 @@ TEST(Campaign, RandomCampaignWeakerThanTour) {
 
   EXPECT_GE(tour_result.bugs_exposed(), random_result.bugs_exposed());
   EXPECT_LT(random_result.transition_coverage, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine: determinism and RNG stream decoupling
+// ---------------------------------------------------------------------------
+
+namespace det {
+
+/// Everything about a campaign outcome except wall-clock timings.
+void expect_same_campaign(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.model_states, b.model_states);
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.test_length, b.test_length);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_DOUBLE_EQ(a.state_coverage, b.state_coverage);
+  EXPECT_DOUBLE_EQ(a.transition_coverage, b.transition_coverage);
+  EXPECT_EQ(a.clean_pass, b.clean_pass);
+  EXPECT_EQ(a.runs_inconclusive, b.runs_inconclusive);
+  ASSERT_EQ(a.clean_runs.size(), b.clean_runs.size());
+  for (std::size_t k = 0; k < a.clean_runs.size(); ++k) {
+    EXPECT_EQ(a.clean_runs[k].impl_cycles, b.clean_runs[k].impl_cycles);
+    EXPECT_EQ(a.clean_runs[k].checkpoints, b.clean_runs[k].checkpoints);
+    EXPECT_EQ(a.clean_runs[k].passed, b.clean_runs[k].passed);
+  }
+  ASSERT_EQ(a.exposures.size(), b.exposures.size());
+  for (std::size_t k = 0; k < a.exposures.size(); ++k) {
+    EXPECT_EQ(a.exposures[k].bug, b.exposures[k].bug);
+    EXPECT_EQ(a.exposures[k].exposed, b.exposures[k].exposed);
+    EXPECT_EQ(a.exposures[k].exposing_sequence,
+              b.exposures[k].exposing_sequence);
+    EXPECT_EQ(a.exposures[k].programs_run, b.exposures[k].programs_run);
+    EXPECT_EQ(a.exposures[k].impl_cycles, b.exposures[k].impl_cycles);
+  }
+}
+
+}  // namespace det
+
+TEST(ParallelCampaign, BitIdenticalAtAnyThreadCount) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kTransitionTourSet;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoForwardExMemA,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+  };
+  options.threads = 1;
+  const auto serial = run_campaign(options, bugs);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{std::thread::hardware_concurrency()}}) {
+    options.threads = threads;
+    const auto parallel = run_campaign(options, bugs);
+    det::expect_same_campaign(serial, parallel);
+  }
+}
+
+TEST(ParallelCampaign, RandomWalkCampaignDeterministicAcrossThreads) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kRandomWalk;
+  options.random_length = 200;
+  options.seed = 7;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall};
+  options.threads = 1;
+  const auto serial = run_campaign(options, bugs);
+  options.threads = 4;
+  const auto parallel = run_campaign(options, bugs);
+  det::expect_same_campaign(serial, parallel);
+}
+
+TEST(ParallelMutantCoverage, BitIdenticalAtAnyThreadCount) {
+  const auto model = testmodel::build_dlx_control_model(tiny_model_options());
+  const auto em = sym::extract_explicit(model.circuit, 20000);
+  MutantCoverageOptions options;
+  options.method = TestMethod::kTransitionTourSet;
+  options.mutant_sample = 120;
+  options.k_extension = 3;
+  options.exclude_equivalent = true;
+  options.threads = 1;
+  const auto serial = evaluate_mutant_coverage(em.machine, 0, options);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{std::thread::hardware_concurrency()},
+        std::size_t{0}}) {
+    options.threads = threads;
+    const auto parallel = evaluate_mutant_coverage(em.machine, 0, options);
+    EXPECT_EQ(serial.mutants, parallel.mutants);
+    EXPECT_EQ(serial.exposed, parallel.exposed);
+    EXPECT_EQ(serial.equivalent, parallel.equivalent);
+    EXPECT_EQ(serial.test_length, parallel.test_length);
+  }
+}
+
+TEST(RngStreams, MutantSamplingDecoupledFromWalkGeneration) {
+  // Regression: mutant sampling used to seed from
+  // `options.seed ^ 0x9e3779b9`, the same stream family the random walk
+  // draws from. The sampling stream must now be a genuinely different
+  // stream: sampling with the walk-derived seed yields a different sample.
+  fsm::MealyMachine m(6, 3);
+  for (fsm::StateId s = 0; s < 6; ++s) {
+    for (fsm::InputId i = 0; i < 3; ++i) {
+      m.set_transition(s, i, (s * 2 + i + 1) % 6, (s + i) % 4);
+    }
+  }
+  const std::uint64_t seed = 99;
+  const auto walk_seed =
+      runtime::derive_stream(seed, runtime::Stream::kWalkStream);
+  const auto mutant_seed =
+      runtime::derive_stream(seed, runtime::Stream::kMutantStream);
+  EXPECT_NE(walk_seed, mutant_seed);
+  const auto sample_a = errmodel::sample_mutations(
+      m, 0, m.output_alphabet_size(), 20, walk_seed);
+  const auto sample_b = errmodel::sample_mutations(
+      m, 0, m.output_alphabet_size(), 20, mutant_seed);
+  bool differ = sample_a.size() != sample_b.size();
+  for (std::size_t k = 0; !differ && k < sample_a.size(); ++k) {
+    differ = sample_a[k].kind != sample_b[k].kind ||
+             sample_a[k].at.state != sample_b[k].at.state ||
+             sample_a[k].at.input != sample_b[k].at.input;
+  }
+  EXPECT_TRUE(differ)
+      << "walk-seeded and mutant-seeded samples must not coincide";
+  // And the same seed keeps giving the same sample (reproducibility).
+  const auto sample_b2 = errmodel::sample_mutations(
+      m, 0, m.output_alphabet_size(), 20, mutant_seed);
+  ASSERT_EQ(sample_b.size(), sample_b2.size());
+  for (std::size_t k = 0; k < sample_b.size(); ++k) {
+    EXPECT_EQ(sample_b[k].at.state, sample_b2[k].at.state);
+    EXPECT_EQ(sample_b[k].at.input, sample_b2[k].at.input);
+  }
+}
+
+TEST(MutantCoverage, EmptySampleHasNoExposureRate) {
+  // Zero real mutants must read as "nothing to measure", not "100%".
+  MutantCoverageResult empty;
+  EXPECT_FALSE(empty.exposure_rate().has_value());
+  MutantCoverageResult one;
+  one.mutants = 1;
+  one.exposed = 1;
+  ASSERT_TRUE(one.exposure_rate().has_value());
+  EXPECT_DOUBLE_EQ(*one.exposure_rate(), 1.0);
 }
 
 TEST(Campaign, MethodNames) {

@@ -67,6 +67,98 @@ TEST(Report, EveryBugHasAName) {
   }
 }
 
+namespace {
+
+/// Structural sanity of an emitted JSON string without a parser: balanced
+/// braces/brackets outside string literals, and object/array delimiters.
+void expect_balanced_json(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t k = 0; k < json.size(); ++k) {
+    const char c = json[k];
+    if (in_string) {
+      if (c == '\\') {
+        ++k;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // No empty elements / stray commas.
+  EXPECT_EQ(json.find(",,"), std::string::npos);
+  EXPECT_EQ(json.find("{,"), std::string::npos);
+  EXPECT_EQ(json.find("[,"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+}  // namespace
+
+TEST(Json, CampaignReportIsWellFormedAndComplete) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kTransitionTourSet;
+  options.collect_symbolic_stats = true;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoForwardExMemA};
+  const auto result = core::run_campaign(options, bugs);
+  const std::string json = core::to_json(result);
+  expect_balanced_json(json);
+  for (const char* key :
+       {"\"report\":\"campaign\"", "\"model\":", "\"test_set\":",
+        "\"clean_pass\":true", "\"clean_runs\":[", "\"exposures\":[",
+        "\"timings\":", "\"bdd\":", "\"symbolic\":", "\"impl_cycles\":",
+        "\"runs_inconclusive\":0",
+        "\"bug\":\"missing load-use interlock\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(Json, MutantCoverageReportHandlesEmptySample) {
+  core::MutantCoverageResult empty;
+  const std::string json =
+      core::to_json(core::TestMethod::kRandomWalk, empty);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"exposure_rate\":null"), std::string::npos);
+  core::MutantCoverageResult some;
+  some.mutants = 4;
+  some.exposed = 3;
+  const std::string json2 =
+      core::to_json(core::TestMethod::kTransitionTourSet, some);
+  expect_balanced_json(json2);
+  EXPECT_NE(json2.find("\"exposure_rate\":0.75"), std::string::npos);
+}
+
+TEST(Report, EmptyMutantSampleFormatsAsNa) {
+  core::MutantCoverageResult empty;
+  const std::string line =
+      core::format_line(core::TestMethod::kStateTour, empty);
+  EXPECT_NE(line.find("n/a"), std::string::npos);
+  EXPECT_EQ(line.find("100"), std::string::npos);
+}
+
+TEST(Report, CampaignSummaryIncludesTimingsAndExposureDetail) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall};
+  const auto result = core::run_campaign(options, bugs);
+  const std::string text = core::format_report(result);
+  EXPECT_NE(text.find("wall time"), std::string::npos);
+  EXPECT_NE(text.find("sequence"), std::string::npos);
+}
+
 TEST(Dot, MealyMachineExport) {
   fsm::MealyMachine m(3, 1);
   m.set_state_name(0, "IDLE");

@@ -198,6 +198,42 @@ TEST(Harness, DescribeFormatsOutcomes) {
   EXPECT_NE(describe(fail).find("FAIL"), std::string::npos);
 }
 
+TEST(Harness, CycleBudgetExhaustionIsNotADivergence) {
+  // An infinite loop (J to itself) exhausts any cycle budget in both
+  // models. The spec retires one instruction per step while the pipeline
+  // needs several cycles, so the truncated streams have different lengths —
+  // which used to be misreported as a divergence (an "exposed bug").
+  ConcretizedProgram loop;
+  loop.instructions = {dlx::make_jump(dlx::Opcode::kJ, -4)};
+  const auto result = run_validation(loop, {}, /*max_cycles=*/256);
+  EXPECT_TRUE(result.cycle_budget_exhausted);
+  EXPECT_FALSE(result.divergence.has_value());
+  EXPECT_FALSE(result.error_detected());
+  EXPECT_FALSE(result.passed);  // inconclusive, not a pass
+  EXPECT_NE(describe(result).find("INCONCLUSIVE"), std::string::npos);
+  // The matching prefix was still compared.
+  EXPECT_GT(result.checkpoints_compared, 0u);
+}
+
+TEST(Harness, HaltingProgramDoesNotReportBudgetExhaustion) {
+  ConcretizedProgram prog;
+  prog.instructions = {dlx::make_nop(), dlx::make_halt()};
+  const auto result = run_validation(prog);
+  EXPECT_TRUE(result.passed);
+  EXPECT_FALSE(result.cycle_budget_exhausted);
+  EXPECT_FALSE(result.error_detected());
+}
+
+TEST(Harness, RunOffProgramEndStillComparesByLength) {
+  // Ending without a halt (PC past the program) is a genuine end of both
+  // streams, not budget exhaustion: length-mismatch semantics stay intact.
+  ConcretizedProgram prog;
+  prog.instructions = {dlx::make_nop(), dlx::make_nop()};
+  const auto result = run_validation(prog);
+  EXPECT_FALSE(result.cycle_budget_exhausted);
+  EXPECT_TRUE(result.passed) << describe(result);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: a transition tour of the reduced explicit test model,
 // concretized and simulated — the full Figure 1 flow.
