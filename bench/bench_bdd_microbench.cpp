@@ -3,6 +3,9 @@
 // relation ... obtained in about 10 seconds").
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bdd/bdd.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
@@ -89,4 +92,33 @@ BENCHMARK(BM_ImageComputation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the same `--json <path>`
+// flag as the other bench binaries by translating it into google-benchmark's
+// JSON file reporter before handing the remaining flags over.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  translated.push_back(args.empty() ? std::string("bench_bdd_microbench")
+                                    : args[0]);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      translated.push_back("--benchmark_out=" + args[i + 1]);
+      translated.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> translated_argv;
+  translated_argv.reserve(translated.size());
+  for (auto& arg : translated) translated_argv.push_back(arg.data());
+  int translated_argc = static_cast<int>(translated_argv.size());
+  benchmark::Initialize(&translated_argc, translated_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(translated_argc,
+                                             translated_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,7 +32,8 @@ std::size_t naive_bound(const fsm::MealyMachine& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   bench::header("Section 6.5: transition tour cost (CPP-optimal vs greedy)");
   std::printf("\n  %-26s %8s %10s %10s %10s %10s %8s\n", "machine", "states",
               "trans", "optimal", "greedy", "naive-UB", "opt/T");
@@ -57,7 +58,7 @@ int main() {
     const auto greedy = tour::greedy_transition_tour(m, 0);
     if (!opt.has_value() || !greedy.has_value()) {
       std::printf("  %-26s tour generation FAILED\n", label);
-      return 1;
+      return simcov::bench::finish(1);
     }
     const std::size_t trans = m.reachable_transitions(0).size();
     std::printf("  %-26s %8u %10zu %10zu %10zu %10zu %8.2f\n", label,
@@ -67,7 +68,7 @@ int main() {
                     static_cast<double>(trans));
     if (opt->length() > greedy->length()) {
       std::printf("  ERROR: optimal tour longer than greedy!\n");
-      return 1;
+      return simcov::bench::finish(1);
     }
     (void)opt_s;
   }
@@ -92,7 +93,7 @@ int main() {
   const auto set = tour::greedy_transition_tour_set(em.machine, 0);
   if (!set.has_value()) {
     bench::row("greedy tour set", "FAILED");
-    return 1;
+    return simcov::bench::finish(1);
   }
   bench::row("greedy tour set length", set->total_length());
   bench::row("greedy tour sequences", set->sequences.size());
@@ -105,5 +106,5 @@ int main() {
       "\nShape check vs paper: optimal tours sit close to the transition-\n"
       "count lower bound (ratio near 1), far below the paper's non-optimal\n"
       "8.7x tour — confirming the optimization headroom Section 6.5 cites.\n");
-  return 0;
+  return simcov::bench::finish(0);
 }

@@ -58,7 +58,8 @@ bool covers_all(const MealyMachine& m, const std::vector<InputId>& seq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   bench::header("Figure 2: limitations of transition tours");
   const MealyMachine spec = figure2_machine();
 
@@ -130,5 +131,5 @@ int main() {
   std::printf(
       "\nShape check vs paper: tour choice determines exposure;"
       " a tour covering (S2,a) followed by c misses the transfer error.\n");
-  return (exposed_ab && !exposed_ac) ? 0 : 1;
+  return simcov::bench::finish((exposed_ab && !exposed_ac) ? 0 : 1);
 }

@@ -12,7 +12,8 @@
 #include "bench_util.hpp"
 #include "testmodel/testmodel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
   bench::header("Figure 3(a): initial abstract test model for pipelined DLX");
 
@@ -81,5 +82,5 @@ int main() {
       "\nShape check vs paper: same controller decomposition (per-stage\n"
       "controllers + interlock + fetch), datapath state abstracted into\n"
       "primary inputs/outputs; counts within the paper's order.\n");
-  return 0;
+  return simcov::bench::finish(0);
 }

@@ -69,7 +69,8 @@ std::vector<std::uint32_t> core_trace(const testmodel::BuiltTestModel& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   bench::header("Figure 3(b): sequence of state-space abstractions");
   const std::vector<unsigned> paper_counts{160, 118, 110, 86, 54, 46, 22};
   const auto ladder = testmodel::figure3b_ladder();
@@ -103,5 +104,5 @@ int main() {
   std::printf(
       "\nShape check vs paper: monotone latch reduction 160->22 via the same\n"
       "six steps; our counts track the paper's within each step's order.\n");
-  return fetchless_equal ? 0 : 1;
+  return simcov::bench::finish(fetchless_equal ? 0 : 1);
 }

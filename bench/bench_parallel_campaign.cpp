@@ -45,7 +45,8 @@ std::string semantic_fingerprint(simcov::core::CampaignResult result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
 
   const std::vector<dlx::PipelineBug> bugs{
@@ -145,11 +146,12 @@ int main() {
 
   bench::header("Structured JSON report (parallel campaign run)");
   std::printf("%s\n", core::to_json(parallel_result).c_str());
+  bench::attach_json("campaign", core::to_json(parallel_result));
 
   bench::row("parallel results identical to serial",
              all_identical ? "yes" : "NO");
   if (speedup_at_4 > 0.0) {
     std::printf("  %-52s %.2fx\n", "speedup at 4 threads", speedup_at_4);
   }
-  return all_identical ? 0 : 1;
+  return simcov::bench::finish(all_identical ? 0 : 1);
 }

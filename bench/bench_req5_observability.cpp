@@ -33,7 +33,8 @@ simcov::testmodel::TestModelOptions base_options() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
 
   // ---- Requirement 5 ablation ------------------------------------------------
@@ -92,5 +93,6 @@ int main() {
       "error exposure; removing it from the model state makes output errors\n"
       "non-uniform (Requirement 1 violation), so a tour may pick clean\n"
       "instances and miss the error entirely.\n");
-  return (!dropped.output_deterministic && rate_with >= rate_without) ? 0 : 1;
+  return simcov::bench::finish(
+      (!dropped.output_deterministic && rate_with >= rate_without) ? 0 : 1);
 }

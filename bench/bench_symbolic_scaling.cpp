@@ -15,7 +15,8 @@
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
   bench::header("Symbolic traversal scaling over register-file width");
   std::printf("\n  %-10s %8s %6s %12s %12s %10s %8s %8s\n", "reg bits",
@@ -60,5 +61,5 @@ int main() {
       "2^latches (paper: 13,720 of 2^22 ~ 0.3%%), and the implicit transition\n"
       "relation remains small and fast to build as the model scales to the\n"
       "full 32-register format.\n");
-  return 0;
+  return simcov::bench::finish(0);
 }

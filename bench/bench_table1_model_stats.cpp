@@ -20,7 +20,8 @@
 #include "sym/symbolic_tour.hpp"
 #include "tour/tour.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
   bench::header("Section 7.2: final test model statistics (paper vs ours)");
 
@@ -113,7 +114,7 @@ int main() {
     bench::row("tour generation time (s)", tour_timer.seconds());
   } else {
     bench::row("tour generation", "FAILED");
-    return 1;
+    return simcov::bench::finish(1);
   }
 
   std::printf(
@@ -121,5 +122,5 @@ int main() {
       "of 2^PI; reachable states are orders of magnitude below 2^latches;\n"
       "the TR builds in seconds; the (non-optimal) tour is a small constant\n"
       "multiple of the transition count.\n");
-  return 0;
+  return simcov::bench::finish(0);
 }

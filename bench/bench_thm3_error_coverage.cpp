@@ -35,7 +35,8 @@ simcov::testmodel::TestModelOptions tour_model_options() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simcov::bench::init(argc, argv);
   using namespace simcov;
   using core::TestMethod;
 
@@ -193,5 +194,5 @@ int main() {
       "\nShape check vs paper: the transition tour exposes the most errors\n"
       "(complete under Req. 1-5 at the model level); state coverage and\n"
       "random simulation leave specific control errors unexercised.\n");
-  return clean ? 0 : 1;
+  return simcov::bench::finish(clean ? 0 : 1);
 }

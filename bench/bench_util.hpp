@@ -1,28 +1,137 @@
 // Shared formatting helpers for the reproduction benches. Each bench binary
 // regenerates one table/figure of the paper and prints paper-vs-measured
 // rows so EXPERIMENTS.md can be filled from the output directly.
+//
+// Every bench accepts `--json <path>`: init() parses it, header()/row()
+// mirror what they print into section records, and finish() writes them as
+// one machine-readable JSON document (core/json.hpp emitter). Benches can
+// also splice full core::to_json reports in via attach_json().
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.hpp"
 
 namespace simcov::bench {
 
+namespace detail {
+
+struct Section {
+  std::string title;
+  std::vector<std::pair<std::string, std::string>> rows;
+};
+
+struct Recorder {
+  std::string binary = "bench";
+  std::string json_path;
+  std::vector<Section> sections;
+  /// (key, raw JSON document) pairs embedded verbatim by finish().
+  std::vector<std::pair<std::string, std::string>> attachments;
+
+  static Recorder& instance() {
+    static Recorder recorder;
+    return recorder;
+  }
+
+  void add_row(std::string label, std::string value) {
+    if (sections.empty()) sections.push_back(Section{});
+    sections.back().rows.emplace_back(std::move(label), std::move(value));
+  }
+};
+
+}  // namespace detail
+
+/// Parses bench command-line flags (only `--json <path>`). Exits with
+/// status 2 on anything unrecognized.
+inline void init(int argc, char** argv) {
+  auto& rec = detail::Recorder::instance();
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string path(argv[0]);
+    const auto slash = path.find_last_of('/');
+    rec.binary = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      rec.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", rec.binary.c_str());
+      std::exit(2);
+    }
+  }
+}
+
 inline void header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  detail::Recorder::instance().sections.push_back(detail::Section{title, {}});
 }
 
 inline void row(const std::string& label, const std::string& value) {
   std::printf("  %-52s %s\n", label.c_str(), value.c_str());
+  detail::Recorder::instance().add_row(label, value);
 }
 
 inline void row(const std::string& label, double value) {
-  std::printf("  %-52s %.6g\n", label.c_str(), value);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  row(label, std::string(buf));
 }
 
 inline void row(const std::string& label, std::size_t value) {
-  std::printf("  %-52s %zu\n", label.c_str(), value);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zu", value);
+  row(label, std::string(buf));
+}
+
+/// Embeds an already-serialized JSON report (e.g. core::to_json output)
+/// under `key` in the --json document.
+inline void attach_json(const std::string& key, std::string raw_json) {
+  detail::Recorder::instance().attachments.emplace_back(key,
+                                                        std::move(raw_json));
+}
+
+/// Writes the recorded sections to the --json path (when given) and returns
+/// `code` so mains can `return bench::finish(code);`. A write failure turns
+/// a clean exit into a failing one.
+inline int finish(int code = 0) {
+  const auto& rec = detail::Recorder::instance();
+  if (rec.json_path.empty()) return code;
+  core::JsonWriter w;
+  w.begin_object()
+      .field("report", "bench")
+      .field("binary", rec.binary)
+      .field("exit_code", code);
+  w.begin_array("sections");
+  for (const auto& section : rec.sections) {
+    w.element_object().field("title", section.title);
+    w.begin_array("rows");
+    for (const auto& [label, value] : section.rows) {
+      w.element_object()
+          .field("label", label)
+          .field("value", value)
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  for (const auto& [key, raw] : rec.attachments) {
+    w.raw_field(key.c_str(), raw);
+  }
+  w.end_object();
+  std::ofstream out(rec.json_path);
+  out << w.str() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "%s: failed to write %s\n", rec.binary.c_str(),
+                 rec.json_path.c_str());
+    return code != 0 ? code : 1;
+  }
+  return code;
 }
 
 class Timer {

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "distinguish/distinguish.hpp"
 #include "distinguish/wmethod.hpp"
 #include "errmodel/errmodel.hpp"
+#include "model/symbolic_model.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sym/symbolic_fsm.hpp"
@@ -128,6 +130,29 @@ void extend_sequence(const fsm::MealyMachine& machine, fsm::StateId start,
   }
 }
 
+/// Resolves the backend choice into a concrete TestModel. Returns the
+/// adapter; `out_explicit` is set when it is the explicit one (some phases
+/// — state tour, W-method — need the underlying machine).
+std::unique_ptr<model::TestModel> select_backend(
+    const CampaignOptions& options, const testmodel::BuiltTestModel& built,
+    model::ExplicitModel** out_explicit) {
+  *out_explicit = nullptr;
+  if (options.backend != BackendChoice::kSymbolic) {
+    auto extraction = sym::extract_explicit(built.circuit, options.max_states);
+    if (!extraction.truncated) {
+      auto exp = std::make_unique<model::ExplicitModel>(std::move(extraction));
+      *out_explicit = exp.get();
+      return exp;
+    }
+    if (options.backend == BackendChoice::kExplicit) {
+      throw std::runtime_error(
+          "run_campaign: explicit backend requested but the reachable state "
+          "space exceeds max_states");
+    }
+  }
+  return std::make_unique<model::SymbolicModel>(built.circuit);
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignOptions& options,
@@ -140,48 +165,74 @@ CampaignResult run_campaign(const CampaignOptions& options,
   result.latches = model.num_latches;
   result.primary_inputs = model.num_inputs;
 
-  const auto explicit_model =
-      sym::extract_explicit(model.circuit, options.max_states);
-  result.model_truncated = explicit_model.truncated;
-  result.model_states = explicit_model.machine.num_states();
+  model::ExplicitModel* exp = nullptr;
+  const auto test_model = select_backend(options, model, &exp);
+  result.backend = test_model->backend();
+  result.model_states =
+      static_cast<std::size_t>(test_model->count_reachable_states());
   result.model_transitions =
-      explicit_model.machine.num_defined_transitions();
+      static_cast<std::size_t>(test_model->count_reachable_transitions());
   result.timings.model_build_seconds = phase.lap();
 
-  if (options.collect_symbolic_stats) {
-    bdd::BddManager mgr;
-    sym::SymbolicFsm symbolic(mgr, model.circuit);
-    result.symbolic_stats = symbolic.stats();
-    result.bdd_stats = mgr.stats();
+  if (options.collect_symbolic_stats ||
+      result.backend == model::Backend::kSymbolic) {
+    if (auto* sym_model = dynamic_cast<model::SymbolicModel*>(
+            test_model.get())) {
+      // The campaign already holds the implicit representation; snapshot it
+      // instead of paying a second reachability fixpoint.
+      result.symbolic_stats = sym_model->fsm().stats();
+      result.bdd_stats = sym_model->manager().stats();
+    } else if (options.collect_symbolic_stats) {
+      bdd::BddManager mgr;
+      sym::SymbolicFsm symbolic(mgr, model.circuit);
+      result.symbolic_stats = symbolic.stats();
+      result.bdd_stats = mgr.stats();
+    }
     result.timings.symbolic_seconds = phase.lap();
   }
 
-  const tour::TourSet set =
-      generate_test_set(explicit_model.machine, 0, options.method,
-                        options.random_length, options.seed);
-  result.sequences = set.sequences.size();
-  result.test_length = set.total_length();
-  const auto coverage =
-      tour::evaluate_coverage_set(explicit_model.machine, set);
-  result.state_coverage = coverage.state_coverage();
-  result.transition_coverage = coverage.transition_coverage();
+  model::TourResult tour_result;
+  switch (options.method) {
+    case TestMethod::kTransitionTourSet: {
+      model::TourOptions tour_options;
+      tour_options.max_steps = options.max_tour_steps;
+      tour_result = test_model->transition_tour(tour_options);
+      break;
+    }
+    case TestMethod::kRandomWalk:
+      tour_result = test_model->random_walk(
+          options.random_length,
+          runtime::derive_stream(options.seed, runtime::Stream::kWalkStream));
+      break;
+    case TestMethod::kStateTour:
+    case TestMethod::kWMethod: {
+      if (exp == nullptr) {
+        throw std::runtime_error(
+            std::string("run_campaign: ") + method_name(options.method) +
+            " generation requires the explicit backend");
+      }
+      tour_result = exp->to_result(
+          generate_test_set(exp->machine(), exp->start(), options.method,
+                            options.random_length, options.seed));
+      break;
+    }
+  }
+  result.sequences = tour_result.tour.sequences.size();
+  result.test_length = tour_result.steps;
+  result.state_coverage = tour_result.coverage.state_coverage();
+  result.transition_coverage = tour_result.coverage.transition_coverage();
   result.timings.tour_seconds = phase.lap();
 
   // One worker pool for every sharded loop below. Each loop writes into
   // pre-sized per-index slots, so the outcome is independent of scheduling.
   runtime::ThreadPool pool(options.threads);
 
-  // Concretize every sequence.
-  std::vector<validate::ConcretizedProgram> programs(set.sequences.size());
-  pool.for_each_index(set.sequences.size(), [&](std::size_t i) {
-    const auto& seq = set.sequences[i];
-    std::vector<testmodel::ControlInput> steps;
-    steps.reserve(seq.size());
-    for (fsm::InputId sym_id : seq) {
-      steps.push_back(validate::decode_control_input(
-          model, explicit_model.input_bits[sym_id]));
-    }
-    programs[i] = validate::concretize_tour(model, steps);
+  // Concretize every sequence (backend-neutral: each tour step is already a
+  // primary-input bit vector).
+  const auto& sequences = tour_result.tour.sequences;
+  std::vector<validate::ConcretizedProgram> programs(sequences.size());
+  pool.for_each_index(sequences.size(), [&](std::size_t i) {
+    programs[i] = validate::concretize_sequence(model, sequences[i]);
   });
   for (const auto& prog : programs) {
     result.total_instructions += prog.instructions.size();
@@ -297,6 +348,11 @@ MutantCoverageResult evaluate_mutant_coverage(
   result.timings.simulate_seconds = phase.lap();
   result.timings.total_seconds = total.lap();
   return result;
+}
+
+MutantCoverageResult evaluate_mutant_coverage(
+    const model::ExplicitModel& model, const MutantCoverageOptions& options) {
+  return evaluate_mutant_coverage(model.machine(), model.start(), options);
 }
 
 }  // namespace simcov::core

@@ -1,11 +1,13 @@
 // End-to-end validation campaigns — the complete Figure 1 flow, and the
 // abstract (machine-level) completeness experiments behind Theorem 3.
 //
-// A campaign: build the control test model -> extract its reachable state
-// space -> generate a test set with a chosen coverage method (transition
-// tour set / state tour / random walk) -> concretize each sequence into a
-// DLX program -> simulate spec vs implementation and compare checkpoints.
-// Run once per injected implementation bug to measure error exposure.
+// A campaign: build the control test model -> pick a backend (explicit
+// enumeration when the reachable state space fits the budget, the implicit
+// BDD representation otherwise) -> generate a test set with a chosen
+// coverage method (transition tour set / state tour / random walk) ->
+// concretize each sequence into a DLX program -> simulate spec vs
+// implementation and compare checkpoints. Run once per injected
+// implementation bug to measure error exposure.
 //
 // The mutant-coverage evaluator performs the same comparison purely at the
 // test-model level with the paper's error model (output/transfer mutations),
@@ -26,6 +28,8 @@
 #include "bdd/bdd.hpp"
 #include "dlx/pipeline.hpp"
 #include "fsm/mealy.hpp"
+#include "model/explicit_model.hpp"
+#include "model/test_model.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -39,6 +43,16 @@ enum class TestMethod : std::uint8_t {
 };
 
 [[nodiscard]] const char* method_name(TestMethod method);
+
+/// Which test-model representation the campaign runs on. kAuto picks
+/// explicit when the reachable state space fits the enumeration budget
+/// (CampaignOptions::max_states) and falls back to the implicit (BDD)
+/// backend otherwise — large models are no longer truncated.
+enum class BackendChoice : std::uint8_t {
+  kAuto,
+  kExplicit,  ///< force enumeration; throws if the budget is exceeded
+  kSymbolic,  ///< force the implicit representation
+};
 
 /// Wall-clock seconds spent in each campaign phase. Only the phases a given
 /// experiment runs are filled; the rest stay zero.
@@ -63,7 +77,15 @@ struct RunMetrics {
 struct CampaignOptions {
   testmodel::TestModelOptions model_options;
   TestMethod method = TestMethod::kTransitionTourSet;
+  /// Test-model representation (see BackendChoice). State-tour and W-method
+  /// generation are explicit-only and throw on the symbolic backend.
+  BackendChoice backend = BackendChoice::kAuto;
+  /// Explicit-enumeration budget: kAuto switches to the symbolic backend
+  /// when the reachable state space exceeds this.
   std::size_t max_states = 100000;
+  /// Step cap for symbolic transition tours (explicit generators always
+  /// terminate on their own).
+  std::size_t max_tour_steps = 10'000'000;
   /// Length of the random-walk baseline.
   std::size_t random_length = 2000;
   std::uint64_t seed = 1;
@@ -92,9 +114,10 @@ struct BugExposure {
 struct CampaignResult {
   unsigned latches = 0;
   unsigned primary_inputs = 0;
+  /// Representation the campaign actually ran on (after kAuto resolution).
+  model::Backend backend = model::Backend::kExplicit;
   std::size_t model_states = 0;
   std::size_t model_transitions = 0;
-  bool model_truncated = false;
   std::size_t sequences = 0;
   std::size_t test_length = 0;  ///< total tour steps
   double state_coverage = 0.0;
@@ -164,5 +187,10 @@ struct MutantCoverageResult {
 MutantCoverageResult evaluate_mutant_coverage(
     const fsm::MealyMachine& machine, fsm::StateId start,
     const MutantCoverageOptions& options);
+
+/// Convenience overload over the TestModel adapter (explicit backend only —
+/// the error model enumerates the transition table).
+MutantCoverageResult evaluate_mutant_coverage(
+    const model::ExplicitModel& model, const MutantCoverageOptions& options);
 
 }  // namespace simcov::core

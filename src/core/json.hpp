@@ -1,0 +1,127 @@
+// Minimal JSON assembly: objects/arrays with comma tracking. Shared by the
+// core report emitters and the bench binaries' --json output; no external
+// dependencies. All keys in this codebase are literals and all strings
+// ASCII, so no escaping table is needed beyond quotes and backslashes.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+namespace simcov::core {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    sep();
+    os_ << '{';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& begin_object(const char* key) {
+    sep();
+    write_key(key);
+    os_ << '{';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << '}';
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array(const char* key) {
+    sep();
+    write_key(key);
+    os_ << '[';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << ']';
+    first_ = false;
+    return *this;
+  }
+  /// Begins an unnamed object (array element).
+  JsonWriter& element_object() { return begin_object(); }
+
+  JsonWriter& field(const char* key, const std::string& value) {
+    sep();
+    write_key(key);
+    write_string(value);
+    return *this;
+  }
+  JsonWriter& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const char* key, bool value) {
+    sep();
+    write_key(key);
+    os_ << (value ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const char* key, double value) {
+    sep();
+    write_key(key);
+    os_ << value;
+    return *this;
+  }
+  /// All counters in the reports are unsigned; one template avoids the
+  /// size_t/uint64_t overload collision on LP64 platforms.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(const char* key, T value) {
+    sep();
+    write_key(key);
+    os_ << static_cast<std::uint64_t>(value);
+    return *this;
+  }
+  JsonWriter& null_field(const char* key) {
+    sep();
+    write_key(key);
+    os_ << "null";
+    return *this;
+  }
+  /// Embeds `raw_json` verbatim as the value of `key`. For splicing an
+  /// already-serialized report (e.g. core::to_json output) into a larger
+  /// document; the caller guarantees it is valid JSON.
+  JsonWriter& raw_field(const char* key, const std::string& raw_json) {
+    sep();
+    write_key(key);
+    os_ << raw_json;
+    return *this;
+  }
+  /// Unnamed string value (array element).
+  JsonWriter& element(const std::string& value) {
+    sep();
+    write_string(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  /// Emits the separating comma unless this is the first element at the
+  /// current nesting level. Closing a container makes it count as an
+  /// emitted element of its parent (end_* resets first_ to false).
+  void sep() {
+    if (!first_) os_ << ',';
+    first_ = false;
+  }
+  void write_key(const char* key) { os_ << '"' << key << "\":"; }
+  void write_string(const std::string& value) {
+    os_ << '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+}  // namespace simcov::core

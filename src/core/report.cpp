@@ -1,8 +1,9 @@
 #include "core/report.hpp"
 
-#include <cstdint>
 #include <sstream>
-#include <type_traits>
+
+#include "core/json.hpp"
+#include "model/test_model.hpp"
 
 namespace simcov::core {
 
@@ -42,8 +43,8 @@ std::string format_report(const CampaignResult& result) {
   os << "  test model: " << result.latches << " latches, "
      << result.primary_inputs << " primary inputs\n";
   os << "  state space: " << result.model_states << " states, "
-     << result.model_transitions << " transitions"
-     << (result.model_truncated ? " (TRUNCATED)" : "") << "\n";
+     << result.model_transitions << " transitions ("
+     << model::backend_name(result.backend) << " backend)\n";
   os << "  test set: " << result.sequences << " sequences, "
      << result.test_length << " steps, " << result.total_instructions
      << " instructions\n";
@@ -121,104 +122,6 @@ std::string format_line(TestMethod method, const MutantCoverageResult& r) {
 
 namespace {
 
-/// Minimal JSON assembly: objects/arrays with comma tracking. All keys in
-/// this module are literals and all strings ASCII, so no escaping table is
-/// needed beyond the basics.
-class JsonWriter {
- public:
-  JsonWriter& begin_object() {
-    sep();
-    os_ << '{';
-    first_ = true;
-    return *this;
-  }
-  JsonWriter& begin_object(const char* key) {
-    sep();
-    write_key(key);
-    os_ << '{';
-    first_ = true;
-    return *this;
-  }
-  JsonWriter& end_object() {
-    os_ << '}';
-    first_ = false;
-    return *this;
-  }
-  JsonWriter& begin_array(const char* key) {
-    sep();
-    write_key(key);
-    os_ << '[';
-    first_ = true;
-    return *this;
-  }
-  JsonWriter& end_array() {
-    os_ << ']';
-    first_ = false;
-    return *this;
-  }
-  /// Begins an unnamed object (array element).
-  JsonWriter& element_object() { return begin_object(); }
-
-  JsonWriter& field(const char* key, const std::string& value) {
-    sep();
-    write_key(key);
-    os_ << '"';
-    for (const char c : value) {
-      if (c == '"' || c == '\\') os_ << '\\';
-      os_ << c;
-    }
-    os_ << '"';
-    return *this;
-  }
-  JsonWriter& field(const char* key, const char* value) {
-    return field(key, std::string(value));
-  }
-  JsonWriter& field(const char* key, bool value) {
-    sep();
-    write_key(key);
-    os_ << (value ? "true" : "false");
-    return *this;
-  }
-  JsonWriter& field(const char* key, double value) {
-    sep();
-    write_key(key);
-    os_ << value;
-    return *this;
-  }
-  /// All counters in the reports are unsigned; one template avoids the
-  /// size_t/uint64_t overload collision on LP64 platforms.
-  template <typename T,
-            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
-                             int> = 0>
-  JsonWriter& field(const char* key, T value) {
-    sep();
-    write_key(key);
-    os_ << static_cast<std::uint64_t>(value);
-    return *this;
-  }
-  JsonWriter& null_field(const char* key) {
-    sep();
-    write_key(key);
-    os_ << "null";
-    return *this;
-  }
-
-  [[nodiscard]] std::string str() const { return os_.str(); }
-
- private:
-  /// Emits the separating comma unless this is the first element at the
-  /// current nesting level. Closing a container makes it count as an
-  /// emitted element of its parent (end_* resets first_ to false).
-  void sep() {
-    if (!first_) os_ << ',';
-    first_ = false;
-  }
-  void write_key(const char* key) { os_ << '"' << key << "\":"; }
-
-  std::ostringstream os_;
-  bool first_ = true;
-};
-
 void emit_timings(JsonWriter& w, const PhaseTimings& t) {
   w.begin_object("timings")
       .field("model_build_seconds", t.model_build_seconds)
@@ -237,11 +140,11 @@ std::string to_json(const CampaignResult& result) {
   w.begin_object();
   w.field("report", "campaign");
   w.begin_object("model")
+      .field("backend", model::backend_name(result.backend))
       .field("latches", result.latches)
       .field("primary_inputs", result.primary_inputs)
       .field("states", result.model_states)
       .field("transitions", result.model_transitions)
-      .field("truncated", result.model_truncated)
       .end_object();
   w.begin_object("test_set")
       .field("sequences", result.sequences)

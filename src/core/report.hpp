@@ -27,10 +27,13 @@ const char* bug_name(dlx::PipelineBug bug);
 // Machine-readable reports
 // ---------------------------------------------------------------------------
 //
-// Single JSON object per result, stable keys, no external dependencies.
+// Single JSON object per result, stable keys, no external dependencies
+// (writer: core/json.hpp).
 // Schema (see DESIGN.md "Structured run reports"):
-//   campaign: model{...}, test_set{...}, timings{...}, clean_runs[...],
-//             exposures[...], runs_inconclusive, bdd{...}?, symbolic{...}?
+//   campaign: model{backend,...}, test_set{...}, timings{...},
+//             clean_runs[...], exposures[...], runs_inconclusive,
+//             bdd{...}?, symbolic{...}? (always present on the symbolic
+//             backend)
 //   mutant coverage: method, mutants, exposed, equivalent, exposure_rate
 //             (null when no real mutants were sampled), timings{...}
 

@@ -1,0 +1,85 @@
+#include "model/encode.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace simcov::model {
+
+namespace {
+
+unsigned id_width(std::uint64_t count) {
+  return count <= 1 ? 1u : static_cast<unsigned>(std::bit_width(count - 1));
+}
+
+// GCC 12's -Wrestrict trips on `"x" + std::to_string(i)`; build the name
+// with append instead.
+std::string signal_name(const char* prefix, unsigned idx) {
+  std::string name(prefix);
+  name += std::to_string(idx);
+  return name;
+}
+
+}  // namespace
+
+sym::SequentialCircuit encode_circuit(const fsm::MealyMachine& m,
+                                      fsm::StateId start) {
+  if (m.num_states() == 0) {
+    throw std::invalid_argument("encode_circuit: empty machine");
+  }
+  if (start >= m.num_states()) {
+    throw std::invalid_argument("encode_circuit: start state out of range");
+  }
+  const unsigned state_w = id_width(m.num_states());
+  const unsigned input_w = id_width(m.num_inputs());
+  const unsigned output_w = id_width(m.output_alphabet_size());
+
+  sym::SequentialCircuit c;
+  std::vector<sym::SignalId> ps(state_w), pi(input_w);
+  for (unsigned j = 0; j < state_w; ++j) {
+    ps[j] = c.net.add_input(signal_name("s", j));
+  }
+  for (unsigned k = 0; k < input_w; ++k) {
+    pi[k] = c.net.add_input(signal_name("i", k));
+  }
+  c.primary_inputs = pi;
+
+  // One minterm per defined (state, input) pair; everything else is
+  // invalid. Sums below OR the minterms whose next-state / output bit is 1.
+  std::vector<sym::SignalId> valid_terms;
+  std::vector<std::vector<sym::SignalId>> next_terms(state_w);
+  std::vector<std::vector<sym::SignalId>> out_terms(output_w);
+  for (fsm::StateId s = 0; s < m.num_states(); ++s) {
+    const sym::SignalId at_s = c.net.make_eq_const(ps, s);
+    for (fsm::InputId i = 0; i < m.num_inputs(); ++i) {
+      const auto t = m.transition(s, i);
+      if (!t.has_value()) continue;
+      const sym::SignalId term =
+          c.net.make_and(at_s, c.net.make_eq_const(pi, i));
+      valid_terms.push_back(term);
+      for (unsigned j = 0; j < state_w; ++j) {
+        if ((t->next >> j) & 1u) next_terms[j].push_back(term);
+      }
+      for (unsigned b = 0; b < output_w; ++b) {
+        if ((t->output >> b) & 1u) out_terms[b].push_back(term);
+      }
+    }
+  }
+
+  c.valid = c.net.make_or(valid_terms);
+  c.latches.reserve(state_w);
+  for (unsigned j = 0; j < state_w; ++j) {
+    c.latches.push_back(sym::SequentialCircuit::Latch{
+        ps[j], c.net.make_or(next_terms[j]),
+        static_cast<bool>((start >> j) & 1u), signal_name("s", j)});
+  }
+  c.outputs.reserve(output_w);
+  for (unsigned b = 0; b < output_w; ++b) {
+    c.outputs.emplace_back(signal_name("o", b),
+                           c.net.make_or(out_terms[b]));
+  }
+  return c;
+}
+
+}  // namespace simcov::model

@@ -1,0 +1,28 @@
+// Explicit -> implicit bridging: binary-encode a Mealy machine as a latch
+// netlist so the symbolic backend can run on it.
+//
+// The inverse of sym::extract_explicit, and the piece that makes the
+// cross-backend differential contract testable on arbitrary machines:
+// states and inputs are encoded little-endian by their dense ids, so
+// SymbolicModel(encode_circuit(m, start)) produces exactly the packed keys
+// ExplicitModel(m, start) uses. Undefined (state, input) pairs become the
+// circuit's valid-input constraint (the paper's input don't-cares), and
+// unused state encodings are simply unreachable.
+//
+// Next-state and output logic are sum-of-minterms over the transition
+// table — fine for the small machines differential tests use; real test
+// models come from src/testmodel as structured netlists.
+#pragma once
+
+#include "fsm/mealy.hpp"
+#include "sym/symbolic_fsm.hpp"
+
+namespace simcov::model {
+
+/// Encodes `m` (reset = `start`) as a sequential circuit with
+/// ceil(log2(num_states)) latches and ceil(log2(num_inputs)) primary
+/// inputs. Output bits pack the transition outputs little-endian.
+[[nodiscard]] sym::SequentialCircuit encode_circuit(
+    const fsm::MealyMachine& m, fsm::StateId start);
+
+}  // namespace simcov::model

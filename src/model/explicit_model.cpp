@@ -1,0 +1,164 @@
+#include "model/explicit_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace simcov::model {
+
+namespace {
+
+unsigned id_width(std::uint64_t count) {
+  return count <= 1 ? 1u : static_cast<unsigned>(std::bit_width(count - 1));
+}
+
+}  // namespace
+
+ExplicitModel::ExplicitModel(sym::ExplicitModel extraction)
+    : machine_(std::move(extraction.machine)) {
+  if (extraction.truncated) {
+    throw std::invalid_argument(
+        "ExplicitModel: extraction was truncated; use SymbolicModel for "
+        "models beyond the explicit-enumeration budget");
+  }
+  input_vectors_ = std::move(extraction.input_bits);
+  input_width_ = input_vectors_.empty()
+                     ? 0u
+                     : static_cast<unsigned>(input_vectors_[0].size());
+  state_width_ = extraction.state_bits.empty()
+                     ? 0u
+                     : static_cast<unsigned>(extraction.state_bits[0].size());
+  state_keys_.reserve(extraction.state_bits.size());
+  for (const auto& bits : extraction.state_bits) {
+    state_keys_.push_back(pack_bits(bits));
+  }
+  input_keys_.reserve(input_vectors_.size());
+  for (const auto& bits : input_vectors_) {
+    input_keys_.push_back(pack_bits(bits));
+  }
+  index_keys();
+}
+
+ExplicitModel::ExplicitModel(fsm::MealyMachine machine, fsm::StateId start)
+    : machine_(std::move(machine)), start_(start) {
+  if (start_ >= machine_.num_states()) {
+    throw std::invalid_argument("ExplicitModel: start state out of range");
+  }
+  state_width_ = id_width(machine_.num_states());
+  input_width_ = id_width(machine_.num_inputs());
+  state_keys_.resize(machine_.num_states());
+  for (fsm::StateId s = 0; s < machine_.num_states(); ++s) {
+    state_keys_[s] = s;
+  }
+  input_keys_.resize(machine_.num_inputs());
+  input_vectors_.resize(machine_.num_inputs());
+  for (fsm::InputId i = 0; i < machine_.num_inputs(); ++i) {
+    input_keys_[i] = i;
+    input_vectors_[i] = unpack_bits(i, input_width_);
+  }
+  index_keys();
+}
+
+void ExplicitModel::index_keys() {
+  key_to_state_.reserve(state_keys_.size());
+  for (fsm::StateId s = 0; s < state_keys_.size(); ++s) {
+    key_to_state_.emplace(state_keys_[s], s);
+  }
+  key_to_input_.reserve(input_keys_.size());
+  for (fsm::InputId i = 0; i < input_keys_.size(); ++i) {
+    key_to_input_.emplace(input_keys_[i], i);
+  }
+}
+
+std::vector<TestModel::Edge> ExplicitModel::edges(std::uint64_t state) {
+  const auto it = key_to_state_.find(state);
+  if (it == key_to_state_.end()) return {};
+  std::vector<Edge> out;
+  for (fsm::InputId i = 0; i < machine_.num_inputs(); ++i) {
+    const auto t = machine_.transition(it->second, i);
+    if (!t.has_value()) continue;
+    out.push_back(Edge{input_keys_[i], state_keys_[t->next]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Edge& a, const Edge& b) { return a.input < b.input; });
+  return out;
+}
+
+std::optional<std::uint64_t> ExplicitModel::step(std::uint64_t state,
+                                                 std::uint64_t input) {
+  const auto s = key_to_state_.find(state);
+  const auto i = key_to_input_.find(input);
+  if (s == key_to_state_.end() || i == key_to_input_.end()) {
+    return std::nullopt;
+  }
+  const auto t = machine_.transition(s->second, i->second);
+  if (!t.has_value()) return std::nullopt;
+  return state_keys_[t->next];
+}
+
+std::vector<bool> ExplicitModel::input_vector(std::uint64_t input) const {
+  const auto it = key_to_input_.find(input);
+  if (it == key_to_input_.end()) {
+    throw std::invalid_argument("ExplicitModel: unknown input key");
+  }
+  return input_vectors_[it->second];
+}
+
+double ExplicitModel::count_reachable_states() {
+  return static_cast<double>(machine_.num_reachable_states(start_));
+}
+
+double ExplicitModel::count_reachable_transitions() {
+  return static_cast<double>(machine_.reachable_transitions(start_).size());
+}
+
+Tour ExplicitModel::to_tour(const tour::TourSet& set) const {
+  Tour out;
+  out.sequences.reserve(set.sequences.size());
+  for (const auto& seq : set.sequences) {
+    std::vector<std::vector<bool>> steps;
+    steps.reserve(seq.size());
+    for (fsm::InputId i : seq) steps.push_back(input_vectors_[i]);
+    out.sequences.push_back(std::move(steps));
+  }
+  return out;
+}
+
+Tour ExplicitModel::to_tour(const tour::Tour& t) const {
+  tour::TourSet set;
+  set.start = t.start;
+  set.sequences.push_back(t.inputs);
+  return to_tour(set);
+}
+
+TourResult ExplicitModel::to_result(const tour::TourSet& set) {
+  TourResult result;
+  result.tour = to_tour(set);
+  result.steps = set.total_length();
+  result.restarts =
+      set.sequences.empty() ? 0 : set.sequences.size() - 1;
+  result.coverage = evaluate(result.tour);
+  result.complete = result.coverage.complete();
+  return result;
+}
+
+TourResult ExplicitModel::transition_tour(const TourOptions& options) {
+  (void)options;  // explicit generators always terminate; no step cap
+  auto set = tour::greedy_transition_tour_set(machine_, start_);
+  if (!set.has_value()) {
+    throw std::runtime_error(
+        "ExplicitModel: transition tour set generation failed");
+  }
+  return to_result(*set);
+}
+
+TourResult ExplicitModel::random_walk(std::size_t length,
+                                      std::uint64_t seed) {
+  tour::TourSet set;
+  set.start = start_;
+  set.sequences.push_back(
+      tour::random_walk(machine_, start_, length, seed).inputs);
+  return to_result(set);
+}
+
+}  // namespace simcov::model

@@ -1,0 +1,135 @@
+#include "model/symbolic_model.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "sym/symbolic_tour.hpp"
+
+namespace simcov::model {
+
+SymbolicModel::SymbolicModel(const sym::SequentialCircuit& circuit)
+    : fsm_(mgr_, circuit) {
+  if (fsm_.num_latches() > 63 || fsm_.num_inputs() > 63) {
+    throw std::invalid_argument(
+        "SymbolicModel: too many variables for packed 64-bit keys");
+  }
+  reset_ = pack_bits(fsm_.initial_state_bits());
+  assignment_.assign(mgr_.var_count(), false);
+}
+
+void SymbolicModel::load_assignment(std::uint64_t state,
+                                    std::uint64_t input) {
+  // Eval happens on BDDs built before any later var allocations; keep the
+  // assignment sized to the manager's current variable count.
+  if (assignment_.size() < mgr_.var_count()) {
+    assignment_.resize(mgr_.var_count(), false);
+  }
+  for (unsigned j = 0; j < fsm_.num_latches(); ++j) {
+    assignment_[fsm_.ps_var(j)] = (state >> j) & 1u;
+  }
+  for (unsigned k = 0; k < fsm_.num_inputs(); ++k) {
+    assignment_[fsm_.pi_var(k)] = (input >> k) & 1u;
+  }
+}
+
+bool SymbolicModel::valid_at(std::uint64_t state, std::uint64_t input) {
+  load_assignment(state, input);
+  return mgr_.eval(fsm_.valid_inputs(), assignment_);
+}
+
+std::vector<TestModel::Edge> SymbolicModel::edges(std::uint64_t state) {
+  const auto it = edge_cache_.find(state);
+  if (it != edge_cache_.end()) return it->second;
+
+  std::vector<Edge> out;
+  const bdd::Bdd at_state = mgr_.constrain(
+      fsm_.valid_inputs(),
+      mgr_.minterm(fsm_.ps_vars(), unpack_bits(state, fsm_.num_latches())));
+  const auto& funcs = fsm_.next_functions();
+  mgr_.for_each_minterm(
+      at_state, fsm_.pi_vars(), [&](const std::vector<bool>& in) {
+        const std::uint64_t input = pack_bits(in);
+        load_assignment(state, input);
+        std::uint64_t next = 0;
+        for (unsigned j = 0; j < fsm_.num_latches(); ++j) {
+          if (mgr_.eval(funcs[j], assignment_)) {
+            next |= std::uint64_t{1} << j;
+          }
+        }
+        out.push_back(Edge{input, next});
+        return true;
+      });
+  std::sort(out.begin(), out.end(),
+            [](const Edge& a, const Edge& b) { return a.input < b.input; });
+  return edge_cache_.emplace(state, std::move(out)).first->second;
+}
+
+std::optional<std::uint64_t> SymbolicModel::step(std::uint64_t state,
+                                                 std::uint64_t input) {
+  if (!valid_at(state, input)) return std::nullopt;
+  const auto& funcs = fsm_.next_functions();
+  std::uint64_t next = 0;
+  for (unsigned j = 0; j < fsm_.num_latches(); ++j) {
+    if (mgr_.eval(funcs[j], assignment_)) {
+      next |= std::uint64_t{1} << j;
+    }
+  }
+  return next;
+}
+
+std::vector<bool> SymbolicModel::input_vector(std::uint64_t input) const {
+  return unpack_bits(input, fsm_.num_inputs());
+}
+
+double SymbolicModel::count_reachable_states() {
+  return fsm_.count_states(fsm_.reachable_states());
+}
+
+double SymbolicModel::count_reachable_transitions() {
+  return fsm_.count_transitions(fsm_.reachable_states());
+}
+
+TourResult SymbolicModel::transition_tour(const TourOptions& options) {
+  sym::SymbolicTourOptions topt;
+  topt.max_steps = options.max_steps;
+  topt.record_inputs = options.record_inputs;
+  auto sym_result = sym::symbolic_transition_tour(fsm_, topt);
+
+  TourResult result;
+  result.tour.sequences = std::move(sym_result.sequences);
+  result.coverage = sym_result.stats;
+  result.steps = sym_result.steps;
+  result.restarts = sym_result.restarts;
+  result.complete = sym_result.complete;
+  return result;
+}
+
+TourResult SymbolicModel::random_walk(std::size_t length,
+                                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  CoverageTracker tracker(count_reachable_states(),
+                          count_reachable_transitions());
+  TourResult result;
+  result.tour.sequences.emplace_back();
+  std::uint64_t at = reset_;
+  tracker.visit_state(at);
+  for (std::size_t step = 0; step < length; ++step) {
+    const auto& out = edges(at);
+    if (out.empty()) {
+      throw std::domain_error("SymbolicModel: dead-end state reached");
+    }
+    const Edge e = out[rng() % out.size()];
+    result.tour.sequences.back().push_back(
+        unpack_bits(e.input, fsm_.num_inputs()));
+    tracker.cover_transition(at, e.input);
+    at = e.next;
+    tracker.visit_state(at);
+    ++result.steps;
+  }
+  result.coverage = tracker.stats();
+  result.complete = result.coverage.complete();
+  return result;
+}
+
+}  // namespace simcov::model

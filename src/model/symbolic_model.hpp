@@ -1,0 +1,70 @@
+// TestModel adapter over the implicit (BDD) representation.
+//
+// Wraps a sym::SymbolicFsm built from a SequentialCircuit. State keys pack
+// the latch bits, input keys pack the primary-input bits (little-endian,
+// declaration order) — the same packing sym's tour driver and
+// ExplicitModel-over-extraction use, so the two backends agree key-for-key
+// on the same circuit.
+//
+// Reachable counts are BDD satisfying-assignment counts; transition tours
+// come from sym::symbolic_transition_tour (pre-image distance layers), with
+// coverage accounted through the shared model::CoverageTracker.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "model/test_model.hpp"
+#include "sym/symbolic_fsm.hpp"
+
+namespace simcov::model {
+
+class SymbolicModel final : public TestModel {
+ public:
+  /// The circuit must outlive the model (next-state functions reference its
+  /// network). Throws std::invalid_argument beyond 63 latches or PIs (the
+  /// packed-key limit, far beyond anything the walk could visit anyway).
+  explicit SymbolicModel(const sym::SequentialCircuit& circuit);
+
+  SymbolicModel(const SymbolicModel&) = delete;
+  SymbolicModel& operator=(const SymbolicModel&) = delete;
+
+  [[nodiscard]] sym::SymbolicFsm& fsm() { return fsm_; }
+  [[nodiscard]] bdd::BddManager& manager() { return mgr_; }
+
+  // ---- TestModel ----------------------------------------------------------
+  [[nodiscard]] Backend backend() const override {
+    return Backend::kSymbolic;
+  }
+  [[nodiscard]] unsigned input_bits() const override {
+    return fsm_.num_inputs();
+  }
+  [[nodiscard]] unsigned state_bits() const override {
+    return fsm_.num_latches();
+  }
+  [[nodiscard]] std::uint64_t reset_state() const override { return reset_; }
+  std::vector<Edge> edges(std::uint64_t state) override;
+  std::optional<std::uint64_t> step(std::uint64_t state,
+                                    std::uint64_t input) override;
+  [[nodiscard]] std::vector<bool> input_vector(
+      std::uint64_t input) const override;
+  [[nodiscard]] double count_reachable_states() override;
+  [[nodiscard]] double count_reachable_transitions() override;
+  TourResult transition_tour(const TourOptions& options = {}) override;
+  TourResult random_walk(std::size_t length, std::uint64_t seed) override;
+
+ private:
+  void load_assignment(std::uint64_t state, std::uint64_t input);
+  [[nodiscard]] bool valid_at(std::uint64_t state, std::uint64_t input);
+
+  bdd::BddManager mgr_;
+  sym::SymbolicFsm fsm_;
+  std::uint64_t reset_ = 0;
+  std::vector<bool> assignment_;
+  /// Per-state (input, successor) enumeration, memoized — the walk revisits
+  /// states far more often than it discovers them.
+  std::unordered_map<std::uint64_t, std::vector<Edge>> edge_cache_;
+};
+
+}  // namespace simcov::model

@@ -1,0 +1,57 @@
+#include "model/test_model.hpp"
+
+#include <stdexcept>
+
+namespace simcov::model {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kExplicit: return "explicit";
+    case Backend::kSymbolic: return "symbolic";
+  }
+  return "?";
+}
+
+std::uint64_t TestModel::pack_bits(const std::vector<bool>& bits) {
+  if (bits.size() > 63) {
+    throw std::invalid_argument("TestModel::pack_bits: more than 63 bits");
+  }
+  std::uint64_t key = 0;
+  for (std::size_t j = 0; j < bits.size(); ++j) {
+    if (bits[j]) key |= std::uint64_t{1} << j;
+  }
+  return key;
+}
+
+std::vector<bool> TestModel::unpack_bits(std::uint64_t key, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned j = 0; j < width; ++j) {
+    bits[j] = (key >> j) & 1u;
+  }
+  return bits;
+}
+
+CoverageStats TestModel::evaluate(const Tour& tour) {
+  CoverageTracker tracker(count_reachable_states(),
+                          count_reachable_transitions());
+  for (const auto& seq : tour.sequences) {
+    std::uint64_t at = reset_state();
+    tracker.visit_state(at);
+    for (const auto& in : seq) {
+      const std::uint64_t input = pack_bits(in);
+      const auto next = step(at, input);
+      if (!next.has_value()) {
+        throw std::domain_error(
+            "TestModel::evaluate: invalid input in tour");
+      }
+      tracker.cover_transition(at, input);
+      at = *next;
+      tracker.visit_state(at);
+    }
+  }
+  // An empty tour still starts at reset.
+  if (tour.sequences.empty()) tracker.visit_state(reset_state());
+  return tracker.stats();
+}
+
+}  // namespace simcov::model

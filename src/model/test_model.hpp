@@ -1,0 +1,127 @@
+// The representation-independent test-model seam.
+//
+// The paper's methodology is representation-blind: the same tour-and-
+// simulate flow runs on a small explicitly enumerated test model and on the
+// 22-latch / 123M-transition implicit (BDD) model of Section 7.2. TestModel
+// is that seam: one interface over "reset state, valid inputs, step,
+// reachable counts, transition tour", with two adapters —
+//
+//   * ExplicitModel (explicit_model.hpp): wraps fsm::MealyMachine, tours
+//     via src/tour;
+//   * SymbolicModel (symbolic_model.hpp): wraps sym::SymbolicFsm, tours via
+//     src/sym's pre-image-layer driver.
+//
+// Both report coverage through the shared model::CoverageTracker, so
+// "state coverage" and "transition coverage" mean the same thing whichever
+// backend produced them, and core::run_campaign can pick the backend by
+// model size instead of truncating large state spaces.
+//
+// Keys: states and inputs are packed little-endian into 64-bit keys — the
+// latch / primary-input bit vectors for circuit-backed models, the dense
+// ids for bare Mealy machines (whose binary encodings coincide with the
+// ids). The packing caps both widths at 63 bits, far beyond explicit reach
+// and matching the symbolic tour driver's existing limit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/coverage.hpp"
+
+namespace simcov::model {
+
+enum class Backend : std::uint8_t {
+  kExplicit,  ///< enumerated fsm::MealyMachine
+  kSymbolic,  ///< implicit BDD representation (sym::SymbolicFsm)
+};
+
+[[nodiscard]] const char* backend_name(Backend backend);
+
+/// A backend-neutral test set: reset-separated input sequences, each step a
+/// primary-input bit vector (little-endian in the model's PI order) —
+/// exactly what validate::concretize consumes.
+struct Tour {
+  std::vector<std::vector<std::vector<bool>>> sequences;
+
+  [[nodiscard]] std::size_t total_steps() const {
+    std::size_t n = 0;
+    for (const auto& seq : sequences) n += seq.size();
+    return n;
+  }
+};
+
+struct TourOptions {
+  /// Hard cap on total walk length (symbolic backend; explicit generators
+  /// always terminate).
+  std::size_t max_steps = 10'000'000;
+  /// Record the concrete input vectors. Disable for very long tours when
+  /// only the coverage statistics are needed.
+  bool record_inputs = true;
+};
+
+struct TourResult {
+  Tour tour;
+  CoverageStats coverage;
+  std::size_t steps = 0;
+  std::size_t restarts = 0;  ///< reset-separated sequence boundaries
+  bool complete = false;     ///< every reachable transition covered
+};
+
+class TestModel {
+ public:
+  /// A valid (input, successor) edge out of a state, packed keys.
+  struct Edge {
+    std::uint64_t input = 0;
+    std::uint64_t next = 0;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  virtual ~TestModel() = default;
+
+  [[nodiscard]] virtual Backend backend() const = 0;
+  /// Width of one input step in primary-input bits.
+  [[nodiscard]] virtual unsigned input_bits() const = 0;
+  /// Width of one state in latch bits.
+  [[nodiscard]] virtual unsigned state_bits() const = 0;
+  /// Packed reset state.
+  [[nodiscard]] virtual std::uint64_t reset_state() const = 0;
+
+  /// All valid (input, successor) pairs out of `state`, sorted by input key.
+  virtual std::vector<Edge> edges(std::uint64_t state) = 0;
+  /// Successor of `state` under `input`; nullopt when the input is invalid
+  /// in that state (the paper's input don't-cares).
+  virtual std::optional<std::uint64_t> step(std::uint64_t state,
+                                            std::uint64_t input) = 0;
+
+  /// Little-endian PI bit vector of a packed input key (for concretization).
+  [[nodiscard]] virtual std::vector<bool> input_vector(
+      std::uint64_t input) const = 0;
+
+  [[nodiscard]] virtual double count_reachable_states() = 0;
+  /// Valid (state, input) pairs with a reachable source state — the
+  /// transitions a tour must cover.
+  [[nodiscard]] virtual double count_reachable_transitions() = 0;
+
+  /// Transition tour from reset, coverage accounted through a shared
+  /// CoverageTracker (identical definition across backends).
+  virtual TourResult transition_tour(const TourOptions& options = {}) = 0;
+
+  /// Random walk of `length` steps from reset (uniform over the valid
+  /// inputs of the current state), deterministic in `seed`.
+  virtual TourResult random_walk(std::size_t length, std::uint64_t seed) = 0;
+
+  // ---- Shared helpers over the primitives --------------------------------
+
+  /// Replays a tour from reset through a CoverageTracker. Throws
+  /// std::domain_error on an invalid input.
+  CoverageStats evaluate(const Tour& tour);
+
+  /// Packs a little-endian bit vector into a key (at most 63 bits).
+  static std::uint64_t pack_bits(const std::vector<bool>& bits);
+  /// Unpacks a key into `width` little-endian bits.
+  static std::vector<bool> unpack_bits(std::uint64_t key, unsigned width);
+};
+
+}  // namespace simcov::model

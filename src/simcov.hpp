@@ -24,6 +24,13 @@
 #include "sym/logic_network.hpp"
 #include "sym/symbolic_fsm.hpp"
 
+// Backend-neutral test models (explicit + symbolic behind one interface).
+#include "model/coverage.hpp"
+#include "model/encode.hpp"
+#include "model/explicit_model.hpp"
+#include "model/symbolic_model.hpp"
+#include "model/test_model.hpp"
+
 // Test-sequence generation and coverage.
 #include "tour/tour.hpp"
 

@@ -40,12 +40,19 @@ class TourDriver {
     const auto total_count =
         static_cast<std::size_t>(result.transitions_total);
 
+    // Shared cross-backend coverage accounting: distinct visited states and
+    // distinct taken transitions (navigation steps included — they exercise
+    // transitions just like covering steps do).
+    model::CoverageTracker tracker(fsm_.count_states(reached),
+                                   result.transitions_total);
+
     const std::vector<unsigned> pi_vec(fsm_.pi_vars().begin(),
                                        fsm_.pi_vars().end());
     uncovered_states_ =
         reached & mgr_.exists(fsm_.valid_inputs(), mgr_.cube(pi_vec));
 
     state_ = pack_bits(fsm_.initial_state_bits());
+    tracker.visit_state(state_);
     if (options_.record_inputs) result.sequences.emplace_back();
 
     while (result.steps < options_.max_steps) {
@@ -75,10 +82,17 @@ class TourDriver {
       if (options_.record_inputs) {
         result.sequences.back().push_back(unpack_input(input));
       }
+      tracker.cover_transition(state_, input);
       state_ = next;
+      tracker.visit_state(state_);
       ++result.steps;
     }
-    result.transitions_covered = static_cast<double>(covered_count_);
+    result.stats = tracker.stats();
+    // The tracker count dominates the per-state cursors: navigation may
+    // take an edge its cursor has not reached yet, which still covers it —
+    // a step-capped walk can therefore be complete before the cursors are.
+    result.transitions_covered = result.stats.transitions_covered;
+    if (result.stats.complete()) result.complete = true;
     return result;
   }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/coverage.hpp"
 #include "sym/symbolic_fsm.hpp"
 
 namespace simcov::sym {
@@ -40,6 +41,13 @@ struct SymbolicTourResult {
   double transitions_total = 0.0;    ///< reachable (state, input) pairs
   double transitions_covered = 0.0;
   bool complete = false;             ///< every reachable transition covered
+
+  /// Coverage accounted through the shared model::CoverageTracker: the
+  /// walk's distinct visited states and distinct exercised transitions —
+  /// the identical definition the explicit evaluators (src/tour) report,
+  /// which is what makes backends comparable. `transitions_covered` above
+  /// mirrors `stats.transitions_covered`.
+  model::CoverageStats stats;
 
   [[nodiscard]] double coverage() const {
     return transitions_total == 0.0 ? 1.0

@@ -220,34 +220,38 @@ std::optional<TourSet> greedy_transition_tour_set(const MealyMachine& m,
   return set;
 }
 
+namespace {
+
+/// Reachable state/transition totals for the tracker, shared by both
+/// evaluators.
+model::CoverageTracker make_tracker(const MealyMachine& m, StateId start) {
+  const auto reachable = m.reachable_states(start);
+  std::size_t states_total = 0;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (reachable[s]) ++states_total;
+  }
+  return model::CoverageTracker(
+      static_cast<double>(states_total),
+      static_cast<double>(m.reachable_transitions(start).size()));
+}
+
+}  // namespace
+
 CoverageStats evaluate_coverage(const MealyMachine& m, StateId start,
                                 std::span<const InputId> inputs) {
-  CoverageStats stats;
-  const auto reachable = m.reachable_states(start);
-  for (StateId s = 0; s < m.num_states(); ++s) {
-    if (reachable[s]) ++stats.states_total;
-  }
-  stats.transitions_total = m.reachable_transitions(start).size();
-
-  std::vector<bool> visited(m.num_states(), false);
-  std::set<fsm::TransitionRef> covered;
+  model::CoverageTracker tracker = make_tracker(m, start);
   StateId at = start;
-  visited[at] = true;
-  stats.states_visited = 1;
+  tracker.visit_state(at);
   for (InputId i : inputs) {
     const auto t = m.transition(at, i);
     if (!t.has_value()) {
       throw std::domain_error("evaluate_coverage: undefined transition");
     }
-    covered.insert(fsm::TransitionRef{at, i});
+    tracker.cover_transition(at, i);
     at = t->next;
-    if (!visited[at]) {
-      visited[at] = true;
-      ++stats.states_visited;
-    }
+    tracker.visit_state(at);
   }
-  stats.transitions_covered = covered.size();
-  return stats;
+  return tracker.stats();
 }
 
 bool is_transition_tour(const MealyMachine& m, StateId start,
@@ -258,16 +262,8 @@ bool is_transition_tour(const MealyMachine& m, StateId start,
 
 CoverageStats evaluate_coverage_set(const MealyMachine& m,
                                     const TourSet& set) {
-  CoverageStats stats;
-  const auto reachable = m.reachable_states(set.start);
-  for (StateId s = 0; s < m.num_states(); ++s) {
-    if (reachable[s]) ++stats.states_total;
-  }
-  stats.transitions_total = m.reachable_transitions(set.start).size();
-
-  std::vector<bool> visited(m.num_states(), false);
-  std::set<fsm::TransitionRef> covered;
-  visited[set.start] = true;
+  model::CoverageTracker tracker = make_tracker(m, set.start);
+  tracker.visit_state(set.start);
   for (const auto& seq : set.sequences) {
     StateId at = set.start;
     for (InputId i : seq) {
@@ -276,16 +272,12 @@ CoverageStats evaluate_coverage_set(const MealyMachine& m,
         throw std::domain_error(
             "evaluate_coverage_set: undefined transition");
       }
-      covered.insert(fsm::TransitionRef{at, i});
+      tracker.cover_transition(at, i);
       at = t->next;
-      visited[at] = true;
+      tracker.visit_state(at);
     }
   }
-  for (StateId s = 0; s < m.num_states(); ++s) {
-    if (visited[s] && reachable[s]) ++stats.states_visited;
-  }
-  stats.transitions_covered = covered.size();
-  return stats;
+  return tracker.stats();
 }
 
 bool is_transition_tour_set(const MealyMachine& m, const TourSet& set) {

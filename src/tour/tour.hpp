@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fsm/mealy.hpp"
+#include "model/coverage.hpp"
 
 namespace simcov::tour {
 
@@ -31,23 +32,12 @@ struct Tour {
   [[nodiscard]] std::size_t length() const { return inputs.size(); }
 };
 
-struct CoverageStats {
-  std::size_t states_visited = 0;
-  std::size_t states_total = 0;
-  std::size_t transitions_covered = 0;
-  std::size_t transitions_total = 0;
-
-  [[nodiscard]] double state_coverage() const {
-    return states_total == 0
-               ? 1.0
-               : static_cast<double>(states_visited) / states_total;
-  }
-  [[nodiscard]] double transition_coverage() const {
-    return transitions_total == 0
-               ? 1.0
-               : static_cast<double>(transitions_covered) / transitions_total;
-  }
-};
+/// Backend-neutral coverage statistics (model/coverage.hpp). The explicit
+/// evaluators below and the symbolic tour driver (src/sym) both account
+/// through the shared model::CoverageTracker, so "state coverage" and
+/// "transition coverage" mean the same thing whichever backend measured
+/// them.
+using CoverageStats = model::CoverageStats;
 
 /// Minimum-length transition tour (closed walk) from `start` covering every
 /// reachable defined transition, via the Directed Chinese Postman reduction.

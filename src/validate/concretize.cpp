@@ -230,4 +230,15 @@ testmodel::ControlInput decode_control_input(
   return in;
 }
 
+ConcretizedProgram concretize_sequence(
+    const testmodel::BuiltTestModel& model,
+    const std::vector<std::vector<bool>>& pi_steps) {
+  std::vector<testmodel::ControlInput> steps;
+  steps.reserve(pi_steps.size());
+  for (const auto& bits : pi_steps) {
+    steps.push_back(decode_control_input(model, bits));
+  }
+  return concretize_tour(model, steps);
+}
+
 }  // namespace simcov::validate

@@ -64,4 +64,11 @@ ConcretizedProgram concretize_tour(
 testmodel::ControlInput decode_control_input(
     const testmodel::BuiltTestModel& model, const std::vector<bool>& pi_bits);
 
+/// Concretizes one backend-neutral tour sequence: each step is a
+/// primary-input bit vector (model PI order) as produced by the TestModel
+/// tours of either backend.
+ConcretizedProgram concretize_sequence(
+    const testmodel::BuiltTestModel& model,
+    const std::vector<std::vector<bool>>& pi_steps);
+
 }  // namespace simcov::validate

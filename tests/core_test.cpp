@@ -2,6 +2,7 @@
 // quotient analysis (Requirement 1), mutant-coverage evaluation, and the
 // end-to-end validation campaign.
 #include "core/campaign.hpp"
+#include "core/report.hpp"
 #include "core/requirements.hpp"
 
 #include <gtest/gtest.h>
@@ -194,7 +195,7 @@ TEST(Campaign, TransitionTourCampaignExposesControlBugs) {
   };
   const auto result = run_campaign(options, bugs);
   EXPECT_TRUE(result.clean_pass);
-  EXPECT_FALSE(result.model_truncated);
+  EXPECT_EQ(result.backend, model::Backend::kExplicit);
   EXPECT_DOUBLE_EQ(result.transition_coverage, 1.0);
   EXPECT_DOUBLE_EQ(result.state_coverage, 1.0);
   EXPECT_EQ(result.bugs_exposed(), bugs.size())
@@ -259,6 +260,109 @@ void expect_same_campaign(const CampaignResult& a, const CampaignResult& b) {
 }
 
 }  // namespace det
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+TEST(CampaignBackend, AutoFallsBackToSymbolicBeyondExplicitBudget) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kTransitionTourSet;
+  options.max_states = 4;  // far below the model's reachable count
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoForwardExMemA,
+  };
+  const auto result = run_campaign(options, bugs);
+  EXPECT_EQ(result.backend, model::Backend::kSymbolic);
+  EXPECT_DOUBLE_EQ(result.transition_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.state_coverage, 1.0);
+  EXPECT_TRUE(result.clean_pass);
+  EXPECT_EQ(result.bugs_exposed(), bugs.size());
+  // The symbolic campaign carries its model statistics along for free.
+  ASSERT_TRUE(result.symbolic_stats.has_value());
+  ASSERT_TRUE(result.bdd_stats.has_value());
+  const std::string report = to_json(result);
+  EXPECT_NE(report.find("\"backend\":\"symbolic\""), std::string::npos);
+  EXPECT_NE(report.find("\"symbolic\":{"), std::string::npos);
+}
+
+TEST(CampaignBackend, BackendsAgreeOnModelAndCoverage) {
+  CampaignOptions explicit_options;
+  explicit_options.model_options = tiny_model_options();
+  explicit_options.method = TestMethod::kTransitionTourSet;
+  explicit_options.backend = BackendChoice::kExplicit;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall};
+  const auto explicit_result = run_campaign(explicit_options, bugs);
+  ASSERT_EQ(explicit_result.backend, model::Backend::kExplicit);
+
+  CampaignOptions symbolic_options = explicit_options;
+  symbolic_options.backend = BackendChoice::kSymbolic;
+  const auto symbolic_result = run_campaign(symbolic_options, bugs);
+  ASSERT_EQ(symbolic_result.backend, model::Backend::kSymbolic);
+
+  // The tours differ (different generators) but the model they measure and
+  // the coverage they reach are identically defined.
+  EXPECT_EQ(explicit_result.model_states, symbolic_result.model_states);
+  EXPECT_EQ(explicit_result.model_transitions,
+            symbolic_result.model_transitions);
+  EXPECT_DOUBLE_EQ(explicit_result.transition_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(symbolic_result.transition_coverage, 1.0);
+  EXPECT_TRUE(explicit_result.clean_pass);
+  EXPECT_TRUE(symbolic_result.clean_pass);
+  EXPECT_EQ(explicit_result.bugs_exposed(), bugs.size());
+  EXPECT_EQ(symbolic_result.bugs_exposed(), bugs.size());
+}
+
+TEST(CampaignBackend, ForcedExplicitThrowsBeyondBudget) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.backend = BackendChoice::kExplicit;
+  options.max_states = 4;
+  EXPECT_THROW(run_campaign(options, {}), std::runtime_error);
+}
+
+TEST(CampaignBackend, StateTourRequiresExplicitBackend) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kStateTour;
+  options.backend = BackendChoice::kSymbolic;
+  EXPECT_THROW(run_campaign(options, {}), std::runtime_error);
+}
+
+TEST(CampaignBackend, SymbolicCampaignBitIdenticalAcrossThreads) {
+  CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = TestMethod::kTransitionTourSet;
+  options.backend = BackendChoice::kSymbolic;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+  };
+  options.threads = 1;
+  const auto serial = run_campaign(options, bugs);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{std::thread::hardware_concurrency()}}) {
+    options.threads = threads;
+    const auto parallel = run_campaign(options, bugs);
+    det::expect_same_campaign(serial, parallel);
+  }
+}
+
+TEST(MutantCoverage, ExplicitModelOverloadMatchesMachineOverload) {
+  const auto machine = fsm::random_connected_machine(10, 2, 4, 3);
+  MutantCoverageOptions options;
+  options.method = TestMethod::kTransitionTourSet;
+  options.mutant_sample = 50;
+  const auto via_machine = evaluate_mutant_coverage(machine, 0, options);
+  const model::ExplicitModel adapter(machine, 0);
+  const auto via_model = evaluate_mutant_coverage(adapter, options);
+  EXPECT_EQ(via_machine.mutants, via_model.mutants);
+  EXPECT_EQ(via_machine.exposed, via_model.exposed);
+  EXPECT_EQ(via_machine.test_length, via_model.test_length);
+}
 
 TEST(ParallelCampaign, BitIdenticalAtAnyThreadCount) {
   CampaignOptions options;

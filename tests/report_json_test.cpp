@@ -1,0 +1,136 @@
+// Golden-string tests for the core/report JSON schema and the shared
+// core/json.hpp writer: exact serialized form of a campaign report,
+// omitted-vs-null optional-field semantics, and string escaping.
+#include "core/json.hpp"
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace simcov {
+namespace {
+
+core::CampaignResult golden_result() {
+  core::CampaignResult result;
+  result.backend = model::Backend::kExplicit;
+  result.latches = 3;
+  result.primary_inputs = 2;
+  result.model_states = 4;
+  result.model_transitions = 9;
+  result.sequences = 2;
+  result.test_length = 17;
+  result.state_coverage = 1.0;
+  result.transition_coverage = 0.5;
+  result.total_instructions = 21;
+  result.clean_pass = true;
+  result.clean_runs.push_back(core::RunMetrics{0, 100, 5, true, false});
+  core::BugExposure exposed;
+  exposed.bug = dlx::PipelineBug::kNoLoadUseStall;
+  exposed.exposed = true;
+  exposed.exposing_sequence = 1;
+  exposed.programs_run = 2;
+  exposed.impl_cycles = 50;
+  result.exposures.push_back(exposed);
+  core::BugExposure missed;
+  missed.bug = dlx::PipelineBug::kNoForwardExMemA;
+  missed.exposed = false;
+  missed.programs_run = 2;
+  result.exposures.push_back(missed);
+  // Timings stay zero: the golden string must be reproducible.
+  return result;
+}
+
+TEST(ReportJsonGolden, CampaignReportExactString) {
+  const std::string expected =
+      "{\"report\":\"campaign\","
+      "\"model\":{\"backend\":\"explicit\",\"latches\":3,"
+      "\"primary_inputs\":2,\"states\":4,\"transitions\":9},"
+      "\"test_set\":{\"sequences\":2,\"steps\":17,\"instructions\":21,"
+      "\"state_coverage\":1,\"transition_coverage\":0.5},"
+      "\"clean_pass\":true,\"bugs_exposed\":1,\"runs_inconclusive\":0,"
+      "\"total_impl_cycles\":150,"
+      "\"clean_runs\":[{\"sequence\":0,\"impl_cycles\":100,"
+      "\"checkpoints\":5,\"passed\":true,\"budget_exhausted\":false}],"
+      "\"exposures\":["
+      "{\"bug\":\"missing load-use interlock\",\"exposed\":true,"
+      "\"programs_run\":2,\"impl_cycles\":50,\"budget_exhausted\":false,"
+      "\"exposing_sequence\":1},"
+      "{\"bug\":\"no EX/MEM bypass (A)\",\"exposed\":false,"
+      "\"programs_run\":2,\"impl_cycles\":0,\"budget_exhausted\":false,"
+      "\"exposing_sequence\":null}],"
+      "\"timings\":{\"model_build_seconds\":0,\"symbolic_seconds\":0,"
+      "\"tour_seconds\":0,\"concretize_seconds\":0,"
+      "\"simulate_seconds\":0,\"total_seconds\":0}}";
+  EXPECT_EQ(core::to_json(golden_result()), expected);
+}
+
+TEST(ReportJsonGolden, OptionalSectionsOmittedNotNull) {
+  // Absent symbolic/bdd snapshots disappear from the document entirely —
+  // they are never emitted as null (unlike exposing_sequence, which is a
+  // per-element slot and uses an explicit null).
+  const std::string without = core::to_json(golden_result());
+  EXPECT_EQ(without.find("\"symbolic\""), std::string::npos);
+  EXPECT_EQ(without.find("\"bdd\""), std::string::npos);
+
+  auto result = golden_result();
+  sym::SymbolicFsmStats symbolic{};
+  symbolic.transition_relation_nodes = 11;
+  symbolic.reachability_iterations = 3;
+  symbolic.reachable_states = 4.0;
+  symbolic.transitions = 9.0;
+  symbolic.valid_input_combinations = 3.0;
+  result.symbolic_stats = symbolic;
+  bdd::BddStats bstats{};
+  bstats.allocated_nodes = 42;
+  result.bdd_stats = bstats;
+  const std::string with = core::to_json(result);
+  EXPECT_NE(with.find("\"symbolic\":{\"transition_relation_nodes\":11,"
+                      "\"reachability_iterations\":3,"
+                      "\"reachable_states\":4,\"transitions\":9,"
+                      "\"valid_input_combinations\":3}"),
+            std::string::npos);
+  EXPECT_NE(with.find("\"bdd\":{\"allocated_nodes\":42,"), std::string::npos);
+  // The optional sections append after timings; the common prefix is
+  // byte-identical to the golden document.
+  EXPECT_EQ(with.rfind(without.substr(0, without.size() - 1), 0), 0u);
+}
+
+TEST(ReportJsonGolden, SymbolicBackendRendersBackendTag) {
+  auto result = golden_result();
+  result.backend = model::Backend::kSymbolic;
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"backend\":\"symbolic\""), std::string::npos);
+  EXPECT_EQ(json.find("\"truncated\""), std::string::npos)
+      << "the truncation flag is gone from the schema";
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  core::JsonWriter w;
+  w.begin_object()
+      .field("text", "say \"hi\" and C:\\path")
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"say \\\"hi\\\" and C:\\\\path\"}");
+}
+
+TEST(JsonWriterTest, RawFieldEmbedsDocumentVerbatim) {
+  core::JsonWriter inner;
+  inner.begin_object().field("a", 1).end_object();
+  core::JsonWriter outer;
+  outer.begin_object()
+      .field("kind", "wrapper")
+      .raw_field("payload", inner.str())
+      .end_object();
+  EXPECT_EQ(outer.str(), "{\"kind\":\"wrapper\",\"payload\":{\"a\":1}}");
+}
+
+TEST(JsonWriterTest, ElementsAndArrays) {
+  core::JsonWriter w;
+  w.begin_object().begin_array("items");
+  w.element("x").element("y");
+  w.end_array().field("n", 2).end_object();
+  EXPECT_EQ(w.str(), "{\"items\":[\"x\",\"y\"],\"n\":2}");
+}
+
+}  // namespace
+}  // namespace simcov
