@@ -20,6 +20,7 @@
 #include "bench_util.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "model/explicit_model.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   core::CampaignOptions base;
   base.model_options = tour_model_options();
   base.method = core::TestMethod::kTransitionTourSet;
+  base.sink = bench::trace();
 
   bench::header("Parallel campaign engine: DLX bug-exposure campaign");
   bench::row("hardware threads",
@@ -114,14 +116,16 @@ int main(int argc, char** argv) {
   // Mutant replay (Theorem 3 apparatus), the other hot loop.
   bench::header("Parallel mutant replay: Theorem 3 experiment");
   const auto model = testmodel::build_dlx_control_model(tour_model_options());
-  const auto em = sym::extract_explicit(model.circuit, 100000);
+  const auto em =
+      model::ExplicitModel(sym::extract_explicit(model.circuit, 100000));
   core::MutantCoverageOptions mc;
   mc.mutant_sample = 400;
   mc.k_extension = 5;
   mc.exclude_equivalent = true;
   mc.threads = 1;
+  mc.sink = bench::trace();
   bench::Timer mc_serial_timer;
-  const auto mc_serial = core::evaluate_mutant_coverage(em.machine, 0, mc);
+  const auto mc_serial = core::evaluate_mutant_coverage(em, mc);
   const double mc_serial_seconds = mc_serial_timer.seconds();
   std::printf("\n  %-10s %12s %10s %12s\n", "threads", "seconds", "speedup",
               "identical");
@@ -133,7 +137,7 @@ int main(int argc, char** argv) {
     core::MutantCoverageOptions opt = mc;
     opt.threads = threads;
     bench::Timer timer;
-    const auto r = core::evaluate_mutant_coverage(em.machine, 0, opt);
+    const auto r = core::evaluate_mutant_coverage(em, opt);
     const double seconds = timer.seconds();
     const bool identical = r.mutants == mc_serial.mutants &&
                            r.exposed == mc_serial.exposed &&

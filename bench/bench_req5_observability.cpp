@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "core/campaign.hpp"
 #include "core/requirements.hpp"
+#include "model/explicit_model.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -51,7 +52,9 @@ int main(int argc, char** argv) {
     mc.method = core::TestMethod::kTransitionTourSet;
     mc.mutant_sample = 300;
     mc.k_extension = 5;
-    const auto r = core::evaluate_mutant_coverage(em.machine, 0, mc);
+    mc.sink = bench::trace();
+    const auto r =
+        core::evaluate_mutant_coverage(model::ExplicitModel(em.machine, 0), mc);
     std::printf("  %-26s %10u %10zu %6zu/%-5zu %9.1f%%\n",
                 expose ? "dest addrs observable" : "dest addrs hidden",
                 em.machine.num_states(), r.test_length, r.exposed, r.mutants,

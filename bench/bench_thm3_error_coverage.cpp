@@ -16,6 +16,7 @@
 #include "core/campaign.hpp"
 #include "core/requirements.hpp"
 #include "distinguish/distinguish.hpp"
+#include "model/explicit_model.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   bench::header("Theorem 3 (model level): mutant exposure by coverage method");
   const auto model = testmodel::build_dlx_control_model(tour_model_options());
   const auto em = sym::extract_explicit(model.circuit, 100000);
+  const model::ExplicitModel test_model(em.machine, 0);
   bench::row("test model states", static_cast<std::size_t>(em.machine.num_states()));
   bench::row("test model transitions", em.machine.num_defined_transitions());
 
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   base.mutant_sample = 300;
   base.k_extension = 5;
   base.exclude_equivalent = true;  // fair denominator: real errors only
+  base.sink = bench::trace();
   std::size_t tour_len = 0;
   for (const TestMethod method :
        {TestMethod::kTransitionTourSet, TestMethod::kStateTour,
@@ -69,7 +72,7 @@ int main(int argc, char** argv) {
     if (method == TestMethod::kRandomWalk) {
       opt.random_length = tour_len;  // equal budget to the transition tour
     }
-    const auto r = core::evaluate_mutant_coverage(em.machine, 0, opt);
+    const auto r = core::evaluate_mutant_coverage(test_model, opt);
     if (method == TestMethod::kTransitionTourSet) tour_len = r.test_length;
     std::printf("  %-18s %10zu %10zu %6zu/%-5zu %9.1f%% %6zu\n",
                 core::method_name(method), r.sequences, r.test_length,
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
   bench::header(
       "Minimized model: transition tour vs W-method (both exact settings)");
   const auto minimized = distinguish::minimize(em.machine, 0);
+  const model::ExplicitModel minimized_model(minimized.machine,
+                                             minimized.machine.initial_state());
   bench::row("minimized states",
              static_cast<std::size_t>(minimized.machine.num_states()));
   bench::row("minimized transitions",
@@ -95,8 +100,7 @@ int main(int argc, char** argv) {
        {TestMethod::kTransitionTourSet, TestMethod::kWMethod}) {
     core::MutantCoverageOptions opt = base;
     opt.method = method;
-    const auto r = core::evaluate_mutant_coverage(
-        minimized.machine, minimized.machine.initial_state(), opt);
+    const auto r = core::evaluate_mutant_coverage(minimized_model, opt);
     std::printf("  %-18s %10zu %10zu %6zu/%-5zu %9.1f%%\n",
                 core::method_name(method), r.sequences, r.test_length,
                 r.exposed, r.mutants, 100.0 * r.exposure_rate().value_or(0.0));
@@ -144,6 +148,7 @@ int main(int argc, char** argv) {
     opt.model_options = tour_model_options();
     opt.method = method;
     opt.random_length = 200;  // a typical short random-simulation budget
+    opt.sink = bench::trace();
     results.push_back(core::run_campaign(opt, bugs));
   }
   for (std::size_t b = 0; b < bugs.size(); ++b) {

@@ -6,17 +6,24 @@
 // mirror what they print into section records, and finish() writes them as
 // one machine-readable JSON document (core/json.hpp emitter). Benches can
 // also splice full core::to_json reports in via attach_json().
+//
+// `--trace <path>` opens an obs::JsonlTraceSink; benches pass trace() as
+// CampaignOptions::sink so every pipeline span / counter / item / status
+// event streams to the file as JSON Lines.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/json.hpp"
+#include "obs/event_sink.hpp"
 
 namespace simcov::bench {
 
@@ -33,6 +40,8 @@ struct Recorder {
   std::vector<Section> sections;
   /// (key, raw JSON document) pairs embedded verbatim by finish().
   std::vector<std::pair<std::string, std::string>> attachments;
+  /// Open when --trace was given; campaigns stream pipeline events here.
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
 
   static Recorder& instance() {
     static Recorder recorder;
@@ -47,8 +56,8 @@ struct Recorder {
 
 }  // namespace detail
 
-/// Parses bench command-line flags (only `--json <path>`). Exits with
-/// status 2 on anything unrecognized.
+/// Parses bench command-line flags (`--json <path>`, `--trace <path>`).
+/// Exits with status 2 on anything unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
   if (argc > 0 && argv[0] != nullptr) {
@@ -60,11 +69,25 @@ inline void init(int argc, char** argv) {
     const std::string arg(argv[i]);
     if (arg == "--json" && i + 1 < argc) {
       rec.json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      try {
+        rec.trace_sink = std::make_unique<obs::JsonlTraceSink>(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", rec.binary.c_str(), e.what());
+        std::exit(2);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", rec.binary.c_str());
+      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n",
+                   rec.binary.c_str());
       std::exit(2);
     }
   }
+}
+
+/// The --trace sink, or nullptr when tracing is off — plugs directly into
+/// CampaignOptions::sink / MutantCoverageOptions::sink.
+[[nodiscard]] inline obs::EventSink* trace() {
+  return detail::Recorder::instance().trace_sink.get();
 }
 
 inline void header(const std::string& title) {

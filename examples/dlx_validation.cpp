@@ -17,9 +17,9 @@
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "dlx/pipeline.hpp"
+#include "model/explicit_model.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
-#include "tour/tour.hpp"
 #include "validate/concretize.hpp"
 #include "validate/harness.hpp"
 
@@ -39,51 +39,49 @@ int main() {
   std::printf("test model: %u latches, %u inputs, %u outputs\n",
               model.num_latches, model.num_inputs, model.num_outputs);
 
-  // 2. Enumerate its reachable state space and generate a transition tour
-  //    set (the reset state of an empty pipeline is transient, so the tour
-  //    is a set of reset-started sequences).
-  const auto em = sym::extract_explicit(model.circuit, 100000);
-  std::printf("state space: %u states, %zu transitions\n",
-              em.machine.num_states(), em.machine.num_defined_transitions());
-  const auto set = tour::greedy_transition_tour_set(em.machine, 0);
-  if (!set.has_value()) {
-    std::puts("tour generation failed");
-    return 1;
-  }
-  std::printf("transition tour set: %zu sequences, %zu steps total\n",
-              set->sequences.size(), set->total_length());
+  // 2. Wrap the enumerated state space in the backend-neutral TestModel
+  //    API and open a transition-tour *stream*: sequences are generated
+  //    lazily, one reset-started sequence per pull (the reset state of an
+  //    empty pipeline is transient, so the tour is a set of sequences).
+  model::ExplicitModel test_model(sym::extract_explicit(model.circuit,
+                                                        100000));
+  std::printf("state space: %.0f states, %.0f transitions\n",
+              test_model.count_reachable_states(),
+              test_model.count_reachable_transitions());
+  auto stream = test_model.transition_tour_stream();
 
-  // 3. Concretize each sequence into a DLX program (data values filled in).
-  std::vector<validate::ConcretizedProgram> programs;
-  for (const auto& seq : set->sequences) {
-    std::vector<testmodel::ControlInput> steps;
-    for (const fsm::InputId sym_id : seq) {
-      steps.push_back(
-          validate::decode_control_input(model, em.input_bits[sym_id]));
-    }
-    programs.push_back(validate::concretize_tour(model, steps));
-  }
-
-  // 4. Validate: clean implementation first, then with an injected bug.
+  // 3/4. Stream the flow: concretize each sequence into a DLX program the
+  //    moment the generator yields it, and validate it immediately — the
+  //    full test set never sits in memory at once.
+  const dlx::PipelineConfig buggy{
+      {dlx::PipelineBug::kInterlockMissesDoubleHazard}};
   bool clean_ok = true;
-  for (const auto& prog : programs) {
-    clean_ok = clean_ok && validate::run_validation(prog).passed;
+  bool caught = false;
+  std::size_t sequences = 0;
+  std::size_t steps_total = 0;
+  while (const auto seq = stream->next_sequence()) {
+    const std::size_t p = sequences++;
+    steps_total += seq->size();
+    const auto program = validate::concretize_sequence(model, *seq);
+    clean_ok = clean_ok && validate::run_validation(program).passed;
+    if (!caught) {
+      const auto result = validate::run_validation(program, buggy);
+      if (result.error_detected()) {
+        std::printf(
+            "buggy implementation (interlock misses double hazards):\n"
+            "  caught by test program %zu: %s\n",
+            p, validate::describe(result).c_str());
+        caught = true;
+      }
+    }
   }
+  const auto tour = stream->summary();
+  std::printf("transition tour set: %zu sequences, %zu steps total, "
+              "coverage %.0f%%\n",
+              sequences, steps_total,
+              100.0 * tour.coverage.transition_coverage());
   std::printf("\ncorrect implementation: %s\n",
               clean_ok ? "all checkpoints match" : "UNEXPECTED divergence");
-
-  dlx::PipelineConfig buggy{{dlx::PipelineBug::kInterlockMissesDoubleHazard}};
-  bool caught = false;
-  for (std::size_t p = 0; p < programs.size() && !caught; ++p) {
-    const auto result = validate::run_validation(programs[p], buggy);
-    if (result.error_detected()) {
-      std::printf(
-          "buggy implementation (interlock misses double hazards):\n"
-          "  caught by test program %zu: %s\n",
-          p, validate::describe(result).c_str());
-      caught = true;
-    }
-  }
   if (!caught) {
     std::puts("bug NOT caught (unexpected for a transition tour)");
     return 1;

@@ -1,358 +1,25 @@
 #include "core/campaign.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <memory>
-#include <stdexcept>
-
-#include "distinguish/distinguish.hpp"
-#include "distinguish/wmethod.hpp"
-#include "errmodel/errmodel.hpp"
-#include "model/symbolic_model.hpp"
-#include "runtime/rng.hpp"
-#include "runtime/thread_pool.hpp"
-#include "sym/symbolic_fsm.hpp"
-#include "tour/tour.hpp"
-#include "validate/concretize.hpp"
-#include "validate/harness.hpp"
+#include "pipeline/stages.hpp"
+#include "pipeline/validation_pipeline.hpp"
 
 namespace simcov::core {
 
-const char* method_name(TestMethod method) {
-  switch (method) {
-    case TestMethod::kTransitionTourSet: return "transition-tour";
-    case TestMethod::kStateTour: return "state-tour";
-    case TestMethod::kRandomWalk: return "random-walk";
-    case TestMethod::kWMethod: return "w-method";
-  }
-  return "?";
-}
-
-std::size_t CampaignResult::bugs_exposed() const {
-  std::size_t n = 0;
-  for (const auto& e : exposures) {
-    if (e.exposed) ++n;
-  }
-  return n;
-}
-
-std::uint64_t CampaignResult::total_impl_cycles() const {
-  std::uint64_t n = 0;
-  for (const auto& r : clean_runs) n += r.impl_cycles;
-  for (const auto& e : exposures) n += e.impl_cycles;
-  return n;
-}
-
-namespace {
-
-/// Stopwatch for the per-phase wall times of PhaseTimings.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  /// Seconds since construction or the last lap(), and restarts.
-  double lap() {
-    const auto now = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return s;
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Generates the test set for a method over an explicit machine.
-tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
-                                fsm::StateId start, TestMethod method,
-                                std::size_t random_length,
-                                std::uint64_t seed) {
-  tour::TourSet set;
-  set.start = start;
-  switch (method) {
-    case TestMethod::kTransitionTourSet: {
-      auto t = tour::greedy_transition_tour_set(machine, start);
-      if (!t.has_value()) {
-        throw std::runtime_error("transition tour set generation failed");
-      }
-      return *t;
-    }
-    case TestMethod::kStateTour: {
-      auto t = tour::state_tour(machine, start);
-      if (!t.has_value()) {
-        throw std::runtime_error("state tour generation failed");
-      }
-      set.sequences.push_back(std::move(t->inputs));
-      return set;
-    }
-    case TestMethod::kRandomWalk: {
-      set.sequences.push_back(
-          tour::random_walk(machine, start,
-                            random_length,
-                            runtime::derive_stream(
-                                seed, runtime::Stream::kWalkStream))
-              .inputs);
-      return set;
-    }
-    case TestMethod::kWMethod: {
-      // The W-method requires a minimal machine; minimize first. Suite
-      // sequences remain valid on the original machine (behavioural
-      // equivalence from reset includes definedness).
-      const auto minimized = distinguish::minimize(machine, start);
-      auto suite = distinguish::wmethod_test_suite(
-          minimized.machine, minimized.machine.initial_state());
-      if (!suite.has_value()) {
-        throw std::runtime_error("W-method suite generation failed");
-      }
-      suite->start = start;
-      return *suite;
-    }
-  }
-  throw std::logic_error("unknown test method");
-}
-
-/// Extends a sequence by `extra` valid steps (smallest defined input each
-/// step), providing the exposure window of Theorem 1.
-void extend_sequence(const fsm::MealyMachine& machine, fsm::StateId start,
-                     std::vector<fsm::InputId>& seq, unsigned extra) {
-  fsm::StateId at = machine.run_to_state(seq, start);
-  for (unsigned k = 0; k < extra; ++k) {
-    bool stepped = false;
-    for (fsm::InputId i = 0; i < machine.num_inputs(); ++i) {
-      const auto t = machine.transition(at, i);
-      if (t.has_value()) {
-        seq.push_back(i);
-        at = t->next;
-        stepped = true;
-        break;
-      }
-    }
-    if (!stepped) return;  // dead end: nothing to extend with
-  }
-}
-
-/// Resolves the backend choice into a concrete TestModel. Returns the
-/// adapter; `out_explicit` is set when it is the explicit one (some phases
-/// — state tour, W-method — need the underlying machine).
-std::unique_ptr<model::TestModel> select_backend(
-    const CampaignOptions& options, const testmodel::BuiltTestModel& built,
-    model::ExplicitModel** out_explicit) {
-  *out_explicit = nullptr;
-  if (options.backend != BackendChoice::kSymbolic) {
-    auto extraction = sym::extract_explicit(built.circuit, options.max_states);
-    if (!extraction.truncated) {
-      auto exp = std::make_unique<model::ExplicitModel>(std::move(extraction));
-      *out_explicit = exp.get();
-      return exp;
-    }
-    if (options.backend == BackendChoice::kExplicit) {
-      throw std::runtime_error(
-          "run_campaign: explicit backend requested but the reachable state "
-          "space exceeds max_states");
-    }
-  }
-  return std::make_unique<model::SymbolicModel>(built.circuit);
-}
-
-}  // namespace
-
 CampaignResult run_campaign(const CampaignOptions& options,
                             std::span<const dlx::PipelineBug> bugs) {
-  Stopwatch total;
-  Stopwatch phase;
-  CampaignResult result;
-  const auto model =
-      testmodel::build_dlx_control_model(options.model_options);
-  result.latches = model.num_latches;
-  result.primary_inputs = model.num_inputs;
+  return pipeline::ValidationPipeline(options).run(bugs);
+}
 
-  model::ExplicitModel* exp = nullptr;
-  const auto test_model = select_backend(options, model, &exp);
-  result.backend = test_model->backend();
-  result.model_states =
-      static_cast<std::size_t>(test_model->count_reachable_states());
-  result.model_transitions =
-      static_cast<std::size_t>(test_model->count_reachable_transitions());
-  result.timings.model_build_seconds = phase.lap();
-
-  if (options.collect_symbolic_stats ||
-      result.backend == model::Backend::kSymbolic) {
-    if (auto* sym_model = dynamic_cast<model::SymbolicModel*>(
-            test_model.get())) {
-      // The campaign already holds the implicit representation; snapshot it
-      // instead of paying a second reachability fixpoint.
-      result.symbolic_stats = sym_model->fsm().stats();
-      result.bdd_stats = sym_model->manager().stats();
-    } else if (options.collect_symbolic_stats) {
-      bdd::BddManager mgr;
-      sym::SymbolicFsm symbolic(mgr, model.circuit);
-      result.symbolic_stats = symbolic.stats();
-      result.bdd_stats = mgr.stats();
-    }
-    result.timings.symbolic_seconds = phase.lap();
-  }
-
-  model::TourResult tour_result;
-  switch (options.method) {
-    case TestMethod::kTransitionTourSet: {
-      model::TourOptions tour_options;
-      tour_options.max_steps = options.max_tour_steps;
-      tour_result = test_model->transition_tour(tour_options);
-      break;
-    }
-    case TestMethod::kRandomWalk:
-      tour_result = test_model->random_walk(
-          options.random_length,
-          runtime::derive_stream(options.seed, runtime::Stream::kWalkStream));
-      break;
-    case TestMethod::kStateTour:
-    case TestMethod::kWMethod: {
-      if (exp == nullptr) {
-        throw std::runtime_error(
-            std::string("run_campaign: ") + method_name(options.method) +
-            " generation requires the explicit backend");
-      }
-      tour_result = exp->to_result(
-          generate_test_set(exp->machine(), exp->start(), options.method,
-                            options.random_length, options.seed));
-      break;
-    }
-  }
-  result.sequences = tour_result.tour.sequences.size();
-  result.test_length = tour_result.steps;
-  result.state_coverage = tour_result.coverage.state_coverage();
-  result.transition_coverage = tour_result.coverage.transition_coverage();
-  result.timings.tour_seconds = phase.lap();
-
-  // One worker pool for every sharded loop below. Each loop writes into
-  // pre-sized per-index slots, so the outcome is independent of scheduling.
-  runtime::ThreadPool pool(options.threads);
-
-  // Concretize every sequence (backend-neutral: each tour step is already a
-  // primary-input bit vector).
-  const auto& sequences = tour_result.tour.sequences;
-  std::vector<validate::ConcretizedProgram> programs(sequences.size());
-  pool.for_each_index(sequences.size(), [&](std::size_t i) {
-    programs[i] = validate::concretize_sequence(model, sequences[i]);
-  });
-  for (const auto& prog : programs) {
-    result.total_instructions += prog.instructions.size();
-  }
-  result.timings.concretize_seconds = phase.lap();
-
-  // Clean run: the bug-free implementation must pass everything.
-  result.clean_runs.resize(programs.size());
-  pool.for_each_index(programs.size(), [&](std::size_t i) {
-    const auto r =
-        validate::run_validation(programs[i], {}, options.max_cycles);
-    result.clean_runs[i] = RunMetrics{i, r.impl_cycles,
-                                      r.checkpoints_compared, r.passed,
-                                      r.cycle_budget_exhausted};
-  });
-  result.clean_pass =
-      std::all_of(result.clean_runs.begin(), result.clean_runs.end(),
-                  [](const RunMetrics& r) { return r.passed; });
-
-  // Per-bug exposure: independent across bugs; within a bug the programs
-  // run in order with early exit at the first exposing one, exactly like
-  // the serial engine. Budget-exhausted runs never count as exposure.
-  result.exposures.resize(bugs.size());
-  pool.for_each_index(bugs.size(), [&](std::size_t b) {
-    BugExposure exposure;
-    exposure.bug = bugs[b];
-    const dlx::PipelineConfig config{{bugs[b]}};
-    for (std::size_t i = 0; i < programs.size(); ++i) {
-      const auto r =
-          validate::run_validation(programs[i], config, options.max_cycles);
-      ++exposure.programs_run;
-      exposure.impl_cycles += r.impl_cycles;
-      if (r.cycle_budget_exhausted) exposure.budget_exhausted = true;
-      if (r.error_detected()) {
-        exposure.exposed = true;
-        exposure.exposing_sequence = i;
-        break;
-      }
-    }
-    result.exposures[b] = exposure;
-  });
-  result.timings.simulate_seconds = phase.lap();
-
-  for (const auto& r : result.clean_runs) {
-    if (r.budget_exhausted) ++result.runs_inconclusive;
-  }
-  for (const auto& e : result.exposures) {
-    if (e.budget_exhausted) ++result.runs_inconclusive;
-  }
-  result.timings.total_seconds = total.lap();
-  return result;
+MutantCoverageResult evaluate_mutant_coverage(
+    const model::ExplicitModel& model, const MutantCoverageOptions& options) {
+  return pipeline::MutantReplayStage::run(model.machine(), model.start(),
+                                          options);
 }
 
 MutantCoverageResult evaluate_mutant_coverage(
     const fsm::MealyMachine& machine, fsm::StateId start,
     const MutantCoverageOptions& options) {
-  Stopwatch total;
-  Stopwatch phase;
-  MutantCoverageResult result;
-  tour::TourSet set = generate_test_set(machine, start, options.method,
-                                        options.random_length, options.seed);
-  if (options.k_extension > 0) {
-    for (auto& seq : set.sequences) {
-      extend_sequence(machine, start, seq, options.k_extension);
-    }
-  }
-  result.sequences = set.sequences.size();
-  result.test_length = set.total_length();
-  result.timings.tour_seconds = phase.lap();
-
-  // Mutant sampling draws from its own stream: deriving it from the walk's
-  // seed (the old `seed ^ 0x9e3779b9` scheme) correlates the sampled error
-  // space with the random tests meant to find it.
-  const auto mutants = errmodel::sample_mutations(
-      machine, start, machine.output_alphabet_size(), options.mutant_sample,
-      runtime::derive_stream(options.seed, runtime::Stream::kMutantStream));
-
-  // Replay every mutant against the test set, sharded; per-mutant verdicts
-  // land in their own slot and are folded in sample order afterwards.
-  struct Verdict {
-    bool exposed = false;
-    bool equivalent = false;
-  };
-  std::vector<Verdict> verdicts(mutants.size());
-  runtime::parallel_for_each(
-      options.threads, mutants.size(), [&](std::size_t m) {
-        const auto& mut = mutants[m];
-        Verdict v;
-        for (const auto& seq : set.sequences) {
-          if (errmodel::exposes(machine, mut, start, seq)) {
-            v.exposed = true;
-            break;
-          }
-        }
-        if (!v.exposed && options.exclude_equivalent) {
-          // An unexposed mutant may simply be no error at all: check full
-          // behavioural equivalence before counting it against the method.
-          const auto mutant = errmodel::apply_mutation(machine, mut);
-          v.equivalent =
-              fsm::check_equivalence(machine, start, mutant, start)
-                  .equivalent;
-        }
-        verdicts[m] = v;
-      });
-  for (const auto& v : verdicts) {
-    if (v.equivalent) {
-      ++result.equivalent;
-      continue;
-    }
-    ++result.mutants;
-    if (v.exposed) ++result.exposed;
-  }
-  result.timings.simulate_seconds = phase.lap();
-  result.timings.total_seconds = total.lap();
-  return result;
-}
-
-MutantCoverageResult evaluate_mutant_coverage(
-    const model::ExplicitModel& model, const MutantCoverageOptions& options) {
-  return evaluate_mutant_coverage(model.machine(), model.start(), options);
+  return pipeline::MutantReplayStage::run(machine, start, options);
 }
 
 }  // namespace simcov::core

@@ -1,196 +1,65 @@
 // End-to-end validation campaigns — the complete Figure 1 flow, and the
 // abstract (machine-level) completeness experiments behind Theorem 3.
 //
-// A campaign: build the control test model -> pick a backend (explicit
-// enumeration when the reachable state space fits the budget, the implicit
-// BDD representation otherwise) -> generate a test set with a chosen
-// coverage method (transition tour set / state tour / random walk) ->
-// concretize each sequence into a DLX program -> simulate spec vs
-// implementation and compare checkpoints. Run once per injected
-// implementation bug to measure error exposure.
+// The campaign engine itself lives in src/pipeline: a streaming
+// pipeline::ValidationPipeline assembled from typed stages (model build ->
+// tour -> concretize -> simulate -> compare), instrumented through
+// obs::EventSink, with per-stage budgets and cooperative cancellation.
+// This header re-exports the pipeline contracts under the historical
+// core:: names and keeps the two entry points as thin assemblies:
 //
-// The mutant-coverage evaluator performs the same comparison purely at the
-// test-model level with the paper's error model (output/transfer mutations),
-// which is what Theorem 3 actually speaks about.
+//   * run_campaign — the Figure-1 DLX campaign;
+//   * evaluate_mutant_coverage — the Theorem-3 mutant-coverage evaluator.
 //
-// Both experiments are embarrassingly parallel (one simulation per injected
-// bug, one replay per sampled mutant) and shard their hot loops across a
-// runtime::ThreadPool. Every randomized phase draws from its own RNG stream
-// derived from (options.seed, stream tag) — see runtime/rng.hpp — so results
-// are bit-identical at any thread count, including 1.
+// Every randomized phase draws from its own RNG stream derived from
+// (options.seed, stream tag) — see runtime/rng.hpp — so results are
+// bit-identical at any thread count, including 1.
 #pragma once
 
-#include <cstdint>
-#include <optional>
 #include <span>
-#include <vector>
 
-#include "bdd/bdd.hpp"
-#include "dlx/pipeline.hpp"
 #include "fsm/mealy.hpp"
 #include "model/explicit_model.hpp"
-#include "model/test_model.hpp"
-#include "sym/symbolic_fsm.hpp"
-#include "testmodel/testmodel.hpp"
+#include "pipeline/contracts.hpp"
 
 namespace simcov::core {
 
-enum class TestMethod : std::uint8_t {
-  kTransitionTourSet,  ///< every transition covered (the paper's method)
-  kStateTour,          ///< every state covered [Iwashita+94-style]
-  kRandomWalk,         ///< plain random simulation baseline
-  kWMethod,            ///< P·W conformance suite [Chow/Dahbura+90 lineage]
-};
-
-[[nodiscard]] const char* method_name(TestMethod method);
-
-/// Which test-model representation the campaign runs on. kAuto picks
-/// explicit when the reachable state space fits the enumeration budget
-/// (CampaignOptions::max_states) and falls back to the implicit (BDD)
-/// backend otherwise — large models are no longer truncated.
-enum class BackendChoice : std::uint8_t {
-  kAuto,
-  kExplicit,  ///< force enumeration; throws if the budget is exceeded
-  kSymbolic,  ///< force the implicit representation
-};
-
-/// Wall-clock seconds spent in each campaign phase. Only the phases a given
-/// experiment runs are filled; the rest stay zero.
-struct PhaseTimings {
-  double model_build_seconds = 0.0;  ///< circuit build + explicit extraction
-  double symbolic_seconds = 0.0;     ///< optional BDD reachability snapshot
-  double tour_seconds = 0.0;         ///< test-set generation + coverage eval
-  double concretize_seconds = 0.0;   ///< tour -> DLX program translation
-  double simulate_seconds = 0.0;     ///< spec-vs-impl runs / mutant replays
-  double total_seconds = 0.0;
-};
-
-/// Telemetry of one spec-vs-impl simulation run (one test-set program).
-struct RunMetrics {
-  std::size_t sequence = 0;  ///< index of the program within the test set
-  std::uint64_t impl_cycles = 0;
-  std::size_t checkpoints = 0;  ///< retire checkpoints compared
-  bool passed = false;
-  bool budget_exhausted = false;  ///< hit max_cycles: inconclusive
-};
-
-struct CampaignOptions {
-  testmodel::TestModelOptions model_options;
-  TestMethod method = TestMethod::kTransitionTourSet;
-  /// Test-model representation (see BackendChoice). State-tour and W-method
-  /// generation are explicit-only and throw on the symbolic backend.
-  BackendChoice backend = BackendChoice::kAuto;
-  /// Explicit-enumeration budget: kAuto switches to the symbolic backend
-  /// when the reachable state space exceeds this.
-  std::size_t max_states = 100000;
-  /// Step cap for symbolic transition tours (explicit generators always
-  /// terminate on their own).
-  std::size_t max_tour_steps = 10'000'000;
-  /// Length of the random-walk baseline.
-  std::size_t random_length = 2000;
-  std::uint64_t seed = 1;
-  /// Worker threads for the concretization/simulation loops
-  /// (0 = one per hardware thread). Results are identical at any setting.
-  std::size_t threads = 0;
-  /// Per-run cycle budget handed to the validation harness.
-  std::size_t max_cycles = 1u << 20;
-  /// Also build the symbolic (BDD) view of the test model and snapshot its
-  /// statistics into the result. Costs one reachability fixpoint.
-  bool collect_symbolic_stats = false;
-};
-
-struct BugExposure {
-  dlx::PipelineBug bug;
-  bool exposed = false;
-  /// Index of the first test-set program that exposed the bug.
-  std::optional<std::size_t> exposing_sequence;
-  std::size_t programs_run = 0;   ///< simulations until exposure (or all)
-  std::uint64_t impl_cycles = 0;  ///< implementation cycles across them
-  /// Some run against this bug hit the cycle budget (inconclusive; never
-  /// counted as exposure).
-  bool budget_exhausted = false;
-};
-
-struct CampaignResult {
-  unsigned latches = 0;
-  unsigned primary_inputs = 0;
-  /// Representation the campaign actually ran on (after kAuto resolution).
-  model::Backend backend = model::Backend::kExplicit;
-  std::size_t model_states = 0;
-  std::size_t model_transitions = 0;
-  std::size_t sequences = 0;
-  std::size_t test_length = 0;  ///< total tour steps
-  double state_coverage = 0.0;
-  double transition_coverage = 0.0;
-  std::size_t total_instructions = 0;
-  /// The correct implementation passes every program of the test set.
-  bool clean_pass = false;
-  std::vector<BugExposure> exposures;
-  /// Telemetry of each clean (bug-free) run, one per test-set program.
-  std::vector<RunMetrics> clean_runs;
-  /// Runs (clean + per-bug) that exhausted the cycle budget.
-  std::size_t runs_inconclusive = 0;
-  PhaseTimings timings;
-  /// Filled when CampaignOptions::collect_symbolic_stats is set.
-  std::optional<sym::SymbolicFsmStats> symbolic_stats;
-  std::optional<bdd::BddStats> bdd_stats;
-
-  [[nodiscard]] std::size_t bugs_exposed() const;
-  [[nodiscard]] std::uint64_t total_impl_cycles() const;
-};
+// Campaign contracts (moved to pipeline/contracts.hpp; re-exported so
+// existing core:: callers compile unchanged).
+using pipeline::BackendChoice;
+using pipeline::BugExposure;
+using pipeline::CampaignOptions;
+using pipeline::CampaignResult;
+using pipeline::CancellationToken;
+using pipeline::method_name;
+using pipeline::MutantCoverageOptions;
+using pipeline::MutantCoverageResult;
+using pipeline::PhaseTimings;
+using pipeline::RunMetrics;
+using pipeline::StageBudget;
+using pipeline::StageBudgets;
+using pipeline::StageReport;
+using pipeline::TestMethod;
+using pipeline::timings_from_spans;
 
 /// Runs a full campaign against each bug in `bugs` (plus a clean run).
+/// Thin assembly of pipeline::ValidationPipeline.
 CampaignResult run_campaign(const CampaignOptions& options,
                             std::span<const dlx::PipelineBug> bugs);
 
-// ---------------------------------------------------------------------------
-// Abstract completeness experiments (machine-level, Theorem 3)
-// ---------------------------------------------------------------------------
+/// Samples output+transfer mutants of the model's machine and measures how
+/// many the chosen test method exposes (Theorem 3). Throws
+/// std::runtime_error when the method cannot generate a test set.
+MutantCoverageResult evaluate_mutant_coverage(
+    const model::ExplicitModel& model, const MutantCoverageOptions& options);
 
-struct MutantCoverageOptions {
-  TestMethod method = TestMethod::kTransitionTourSet;
-  std::size_t random_length = 500;
-  std::uint64_t seed = 1;
-  /// Extra steps appended to every sequence so the final transitions also
-  /// get their k-step exposure window (Theorem 1's simulation horizon).
-  unsigned k_extension = 0;
-  std::size_t mutant_sample = 200;
-  /// Detect mutants that are behaviourally equivalent to the specification
-  /// (no test can expose them) and report them separately instead of
-  /// counting them against the method.
-  bool exclude_equivalent = false;
-  /// Worker threads for the per-mutant replay loop (0 = one per hardware
-  /// thread). Results are identical at any setting.
-  std::size_t threads = 0;
-};
-
-struct MutantCoverageResult {
-  std::size_t mutants = 0;   ///< sampled mutants that are real errors
-  std::size_t exposed = 0;
-  std::size_t equivalent = 0;  ///< sampled mutants with identical behaviour
-  std::size_t sequences = 0;
-  std::size_t test_length = 0;
-  PhaseTimings timings;
-
-  /// Fraction of real sampled mutants the test set exposed. Empty when the
-  /// sampler produced no real mutants: "nothing to expose" is not "complete
-  /// coverage", and must not read as 100%.
-  [[nodiscard]] std::optional<double> exposure_rate() const {
-    if (mutants == 0) return std::nullopt;
-    return static_cast<double>(exposed) / static_cast<double>(mutants);
-  }
-};
-
-/// Samples output+transfer mutants of `machine` and measures how many the
-/// chosen test method exposes. Throws std::runtime_error when the method
-/// cannot generate a test set for the machine.
+/// Deprecated machine-level shim: wrap the machine in a model::ExplicitModel
+/// and use the overload above (the TestModel seam is the supported API).
+[[deprecated(
+    "wrap the machine in model::ExplicitModel and call the TestModel "
+    "overload")]]
 MutantCoverageResult evaluate_mutant_coverage(
     const fsm::MealyMachine& machine, fsm::StateId start,
     const MutantCoverageOptions& options);
-
-/// Convenience overload over the TestModel adapter (explicit backend only —
-/// the error model enumerates the transition table).
-MutantCoverageResult evaluate_mutant_coverage(
-    const model::ExplicitModel& model, const MutantCoverageOptions& options);
 
 }  // namespace simcov::core

@@ -152,6 +152,73 @@ TourResult ExplicitModel::transition_tour(const TourOptions& options) {
   return to_result(*set);
 }
 
+namespace {
+
+/// Streaming transition tour over the incremental greedy generator. Each
+/// yielded sequence is replayed into a persistent CoverageTracker keyed by
+/// dense ids — a bijection of the packed keys TestModel::evaluate uses, so
+/// the distinct-state/transition counts agree exactly.
+class ExplicitTourStream final : public TourStream {
+ public:
+  explicit ExplicitTourStream(ExplicitModel& model)
+      : model_(model),
+        gen_(model.machine(), model.start()),
+        tracker_(model.count_reachable_states(),
+                 model.count_reachable_transitions()) {
+    // An empty tour still starts at reset (matches TestModel::evaluate).
+    tracker_.visit_state(model_.start());
+  }
+
+  std::optional<std::vector<std::vector<bool>>> next_sequence() override {
+    auto seq = gen_.next();
+    if (!seq.has_value()) {
+      if (gen_.stuck()) {
+        throw std::runtime_error(
+            "ExplicitModel: transition tour set generation failed");
+      }
+      return std::nullopt;
+    }
+    fsm::StateId at = model_.start();
+    tracker_.visit_state(at);
+    for (fsm::InputId i : *seq) {
+      tracker_.cover_transition(at, i);
+      at = model_.machine().transition(at, i)->next;
+      tracker_.visit_state(at);
+    }
+    steps_ += seq->size();
+    ++yielded_;
+    tour::TourSet one;
+    one.start = model_.start();
+    one.sequences.push_back(std::move(*seq));
+    Tour converted = model_.to_tour(one);
+    return std::move(converted.sequences.front());
+  }
+
+  TourResult summary() override {
+    TourResult out;
+    out.coverage = tracker_.stats();
+    out.steps = steps_;
+    out.restarts = yielded_ == 0 ? 0 : yielded_ - 1;
+    out.complete = out.coverage.complete();
+    return out;
+  }
+
+ private:
+  ExplicitModel& model_;
+  tour::TransitionTourSetGenerator gen_;
+  CoverageTracker tracker_;
+  std::size_t steps_ = 0;
+  std::size_t yielded_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TourStream> ExplicitModel::transition_tour_stream(
+    const TourOptions& options) {
+  (void)options;  // explicit generators always terminate; no step cap
+  return std::make_unique<ExplicitTourStream>(*this);
+}
+
 TourResult ExplicitModel::random_walk(std::size_t length,
                                       std::uint64_t seed) {
   tour::TourSet set;

@@ -105,6 +105,44 @@ TourResult SymbolicModel::transition_tour(const TourOptions& options) {
   return result;
 }
 
+namespace {
+
+/// Streaming transition tour over sym::SymbolicTourStream — sequences come
+/// out of the suspended BDD walk one reset at a time.
+class SymbolicModelTourStream final : public TourStream {
+ public:
+  SymbolicModelTourStream(sym::SymbolicFsm& fsm,
+                          const sym::SymbolicTourOptions& options)
+      : stream_(fsm, options) {}
+
+  std::optional<std::vector<std::vector<bool>>> next_sequence() override {
+    return stream_.next_sequence();
+  }
+
+  TourResult summary() override {
+    auto sym_result = stream_.summary();
+    TourResult result;
+    result.coverage = sym_result.stats;
+    result.steps = sym_result.steps;
+    result.restarts = sym_result.restarts;
+    result.complete = sym_result.complete;
+    return result;
+  }
+
+ private:
+  sym::SymbolicTourStream stream_;
+};
+
+}  // namespace
+
+std::unique_ptr<TourStream> SymbolicModel::transition_tour_stream(
+    const TourOptions& options) {
+  sym::SymbolicTourOptions topt;
+  topt.max_steps = options.max_steps;
+  topt.record_inputs = options.record_inputs;
+  return std::make_unique<SymbolicModelTourStream>(fsm_, topt);
+}
+
 TourResult SymbolicModel::random_walk(std::size_t length,
                                       std::uint64_t seed) {
   std::mt19937_64 rng(seed);

@@ -31,6 +31,11 @@ std::vector<bool> TestModel::unpack_bits(std::uint64_t key, unsigned width) {
   return bits;
 }
 
+std::unique_ptr<TourStream> TestModel::transition_tour_stream(
+    const TourOptions& options) {
+  return std::make_unique<MaterializedTourStream>(transition_tour(options));
+}
+
 CoverageStats TestModel::evaluate(const Tour& tour) {
   CoverageTracker tracker(count_reachable_states(),
                           count_reachable_transitions());

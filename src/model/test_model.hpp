@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -68,6 +69,51 @@ struct TourResult {
   bool complete = false;     ///< every reachable transition covered
 };
 
+/// The streaming seam between tour generation and the rest of the pipeline:
+/// reset-separated sequences are pulled one at a time, so downstream stages
+/// (concretize, simulate) can run while later sequences are still being
+/// generated, and the full test set need never be materialized.
+class TourStream {
+ public:
+  virtual ~TourStream() = default;
+
+  /// The next reset-separated input sequence (one PI bit vector per step);
+  /// nullopt once the tour has ended.
+  virtual std::optional<std::vector<std::vector<bool>>> next_sequence() = 0;
+
+  /// Tour statistics so far (coverage, steps, restarts, complete). Final
+  /// once next_sequence() has returned nullopt. The returned result's
+  /// `tour` is empty — the caller already holds the yielded sequences.
+  virtual TourResult summary() = 0;
+};
+
+/// TourStream over an already materialized TourResult — the adapter behind
+/// TestModel::transition_tour_stream's default implementation and a handy
+/// wrapper for tests.
+class MaterializedTourStream final : public TourStream {
+ public:
+  explicit MaterializedTourStream(TourResult result)
+      : result_(std::move(result)) {}
+
+  std::optional<std::vector<std::vector<bool>>> next_sequence() override {
+    if (next_ >= result_.tour.sequences.size()) return std::nullopt;
+    return std::move(result_.tour.sequences[next_++]);
+  }
+
+  TourResult summary() override {
+    TourResult out;
+    out.coverage = result_.coverage;
+    out.steps = result_.steps;
+    out.restarts = result_.restarts;
+    out.complete = result_.complete;
+    return out;
+  }
+
+ private:
+  TourResult result_;
+  std::size_t next_ = 0;
+};
+
 class TestModel {
  public:
   /// A valid (input, successor) edge out of a state, packed keys.
@@ -107,6 +153,13 @@ class TestModel {
   /// Transition tour from reset, coverage accounted through a shared
   /// CoverageTracker (identical definition across backends).
   virtual TourResult transition_tour(const TourOptions& options = {}) = 0;
+
+  /// Streaming form of transition_tour: yields the identical sequences in
+  /// the identical order, one at a time. The base implementation simply
+  /// materializes transition_tour; ExplicitModel and SymbolicModel override
+  /// it with generators that produce sequences incrementally.
+  virtual std::unique_ptr<TourStream> transition_tour_stream(
+      const TourOptions& options = {});
 
   /// Random walk of `length` steps from reset (uniform over the valid
   /// inputs of the current state), deterministic in `seed`.

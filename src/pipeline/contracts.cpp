@@ -1,0 +1,75 @@
+#include "pipeline/contracts.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace simcov::pipeline {
+
+const char* method_name(TestMethod method) {
+  switch (method) {
+    case TestMethod::kTransitionTourSet: return "transition-tour";
+    case TestMethod::kStateTour: return "state-tour";
+    case TestMethod::kRandomWalk: return "random-walk";
+    case TestMethod::kWMethod: return "w-method";
+  }
+  return "?";
+}
+
+PhaseTimings timings_from_spans(const obs::SpanRecorder& spans) {
+  PhaseTimings t;
+  t.model_build_seconds = spans.seconds(obs::Stage::kModelBuild);
+  t.symbolic_seconds = spans.seconds(obs::Stage::kSymbolic);
+  t.tour_seconds = spans.seconds(obs::Stage::kTour);
+  t.concretize_seconds = spans.seconds(obs::Stage::kConcretize);
+  t.simulate_seconds = spans.seconds(obs::Stage::kSimulate) +
+                       spans.seconds(obs::Stage::kCompare) +
+                       spans.seconds(obs::Stage::kMutantReplay);
+  t.total_seconds = spans.total_seconds();
+  // Every stage must fold into one of the five phase fields; a stage the
+  // mapping dropped would make the total exceed the phase sum. Tolerance
+  // only covers the differing floating-point summation order.
+  assert(std::abs(t.total_seconds - t.phase_sum()) <=
+         1e-9 * std::fmax(1.0, std::fabs(t.total_seconds)));
+  return t;
+}
+
+std::size_t CampaignResult::bugs_exposed() const {
+  std::size_t n = 0;
+  for (const auto& e : exposures) {
+    if (e.exposed) ++n;
+  }
+  return n;
+}
+
+std::uint64_t CampaignResult::total_impl_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& r : clean_runs) n += r.impl_cycles;
+  for (const auto& e : exposures) n += e.impl_cycles;
+  return n;
+}
+
+namespace {
+
+bool any_status(const std::vector<StageReport>& reports,
+                obs::StageStatus status) {
+  for (const auto& r : reports) {
+    if (r.status == status) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CampaignResult::budget_exhausted() const {
+  return any_status(stage_reports, obs::StageStatus::kBudgetExhausted);
+}
+
+bool CampaignResult::cancelled() const {
+  return any_status(stage_reports, obs::StageStatus::kCancelled);
+}
+
+bool MutantCoverageResult::cancelled() const {
+  return any_status(stage_reports, obs::StageStatus::kCancelled);
+}
+
+}  // namespace simcov::pipeline

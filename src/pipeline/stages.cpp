@@ -1,0 +1,355 @@
+#include "pipeline/stages.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "distinguish/distinguish.hpp"
+#include "distinguish/wmethod.hpp"
+#include "errmodel/errmodel.hpp"
+#include "model/symbolic_model.hpp"
+#include "runtime/rng.hpp"
+#include "sym/symbolic_fsm.hpp"
+#include "validate/harness.hpp"
+
+namespace simcov::pipeline {
+
+tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
+                                fsm::StateId start, TestMethod method,
+                                std::size_t random_length,
+                                std::uint64_t seed) {
+  tour::TourSet set;
+  set.start = start;
+  switch (method) {
+    case TestMethod::kTransitionTourSet: {
+      auto t = tour::greedy_transition_tour_set(machine, start);
+      if (!t.has_value()) {
+        throw std::runtime_error("transition tour set generation failed");
+      }
+      return *t;
+    }
+    case TestMethod::kStateTour: {
+      auto t = tour::state_tour(machine, start);
+      if (!t.has_value()) {
+        throw std::runtime_error("state tour generation failed");
+      }
+      set.sequences.push_back(std::move(t->inputs));
+      return set;
+    }
+    case TestMethod::kRandomWalk: {
+      set.sequences.push_back(
+          tour::random_walk(machine, start,
+                            random_length,
+                            runtime::derive_stream(
+                                seed, runtime::Stream::kWalkStream))
+              .inputs);
+      return set;
+    }
+    case TestMethod::kWMethod: {
+      // The W-method requires a minimal machine; minimize first. Suite
+      // sequences remain valid on the original machine (behavioural
+      // equivalence from reset includes definedness).
+      const auto minimized = distinguish::minimize(machine, start);
+      auto suite = distinguish::wmethod_test_suite(
+          minimized.machine, minimized.machine.initial_state());
+      if (!suite.has_value()) {
+        throw std::runtime_error("W-method suite generation failed");
+      }
+      suite->start = start;
+      return *suite;
+    }
+  }
+  throw std::logic_error("unknown test method");
+}
+
+void extend_sequence(const fsm::MealyMachine& machine, fsm::StateId start,
+                     std::vector<fsm::InputId>& seq, unsigned extra) {
+  fsm::StateId at = machine.run_to_state(seq, start);
+  for (unsigned k = 0; k < extra; ++k) {
+    bool stepped = false;
+    for (fsm::InputId i = 0; i < machine.num_inputs(); ++i) {
+      const auto t = machine.transition(at, i);
+      if (t.has_value()) {
+        seq.push_back(i);
+        at = t->next;
+        stepped = true;
+        break;
+      }
+    }
+    if (!stepped) return;  // dead end: nothing to extend with
+  }
+}
+
+namespace {
+
+/// Resolves the backend choice into a concrete TestModel. Returns the
+/// adapter; `out_explicit` is set when it is the explicit one (some phases
+/// — state tour, W-method — need the underlying machine).
+std::unique_ptr<model::TestModel> select_backend(
+    const CampaignOptions& options, const testmodel::BuiltTestModel& built,
+    model::ExplicitModel** out_explicit) {
+  *out_explicit = nullptr;
+  if (options.backend != BackendChoice::kSymbolic) {
+    auto extraction = sym::extract_explicit(built.circuit, options.max_states);
+    if (!extraction.truncated) {
+      auto exp = std::make_unique<model::ExplicitModel>(std::move(extraction));
+      *out_explicit = exp.get();
+      return exp;
+    }
+    if (options.backend == BackendChoice::kExplicit) {
+      throw std::runtime_error(
+          "run_campaign: explicit backend requested but the reachable state "
+          "space exceeds max_states");
+    }
+  }
+  return std::make_unique<model::SymbolicModel>(built.circuit);
+}
+
+}  // namespace
+
+ModelBuildStage::Output ModelBuildStage::run(const CampaignOptions& options,
+                                             obs::EventSink& sink,
+                                             CampaignResult& result) {
+  obs::ScopedSpan span(sink, obs::Stage::kModelBuild);
+  Output out;
+  // Heap-boxed: SymbolicModel keeps a reference to the circuit, so the
+  // built model must have a stable address for the pipeline's lifetime.
+  out.built = std::make_unique<testmodel::BuiltTestModel>(
+      testmodel::build_dlx_control_model(options.model_options));
+  result.latches = out.built->num_latches;
+  result.primary_inputs = out.built->num_inputs;
+
+  out.model = select_backend(options, *out.built, &out.explicit_model);
+  result.backend = out.model->backend();
+  result.model_states =
+      static_cast<std::size_t>(out.model->count_reachable_states());
+  result.model_transitions =
+      static_cast<std::size_t>(out.model->count_reachable_transitions());
+  sink.counter(obs::Stage::kModelBuild, "states", result.model_states);
+  sink.counter(obs::Stage::kModelBuild, "transitions",
+               result.model_transitions);
+  return out;
+}
+
+void SymbolicSnapshotStage::run(const CampaignOptions& options,
+                                const testmodel::BuiltTestModel& built,
+                                model::TestModel& model, obs::EventSink& sink,
+                                CampaignResult& result) {
+  if (!options.collect_symbolic_stats &&
+      result.backend != model::Backend::kSymbolic) {
+    return;
+  }
+  obs::ScopedSpan span(sink, obs::Stage::kSymbolic);
+  if (auto* sym_model = dynamic_cast<model::SymbolicModel*>(&model)) {
+    // The campaign already holds the implicit representation; snapshot it
+    // instead of paying a second reachability fixpoint.
+    result.symbolic_stats = sym_model->fsm().stats();
+    result.bdd_stats = sym_model->manager().stats();
+  } else if (options.collect_symbolic_stats) {
+    bdd::BddManager mgr;
+    sym::SymbolicFsm symbolic(mgr, built.circuit);
+    result.symbolic_stats = symbolic.stats();
+    result.bdd_stats = mgr.stats();
+  }
+}
+
+std::unique_ptr<model::TourStream> TourStage::open(
+    const CampaignOptions& options, model::TestModel& model,
+    model::ExplicitModel* explicit_model, obs::EventSink& sink) {
+  switch (options.method) {
+    case TestMethod::kTransitionTourSet: {
+      // Native streaming: generation cost lands in kTour spans as batches
+      // are pulled by the executor, not here.
+      model::TourOptions tour_options;
+      tour_options.max_steps = options.max_tour_steps;
+      return model.transition_tour_stream(tour_options);
+    }
+    case TestMethod::kRandomWalk: {
+      obs::ScopedSpan span(sink, obs::Stage::kTour);
+      return std::make_unique<model::MaterializedTourStream>(
+          model.random_walk(options.random_length,
+                            runtime::derive_stream(
+                                options.seed, runtime::Stream::kWalkStream)));
+    }
+    case TestMethod::kStateTour:
+    case TestMethod::kWMethod: {
+      if (explicit_model == nullptr) {
+        throw std::runtime_error(
+            std::string("run_campaign: ") + method_name(options.method) +
+            " generation requires the explicit backend");
+      }
+      obs::ScopedSpan span(sink, obs::Stage::kTour);
+      return std::make_unique<model::MaterializedTourStream>(
+          explicit_model->to_result(generate_test_set(
+              explicit_model->machine(), explicit_model->start(),
+              options.method, options.random_length, options.seed)));
+    }
+  }
+  throw std::logic_error("unknown test method");
+}
+
+void ConcretizeStage::run_batch(
+    const testmodel::BuiltTestModel& built,
+    std::span<const std::vector<std::vector<bool>>> batch,
+    std::span<validate::ConcretizedProgram> out, runtime::ThreadPool& pool,
+    const CancellationToken& cancel, obs::EventSink& sink) {
+  obs::ScopedSpan span(sink, obs::Stage::kConcretize);
+  pool.for_each_index(
+      batch.size(),
+      [&](std::size_t i) {
+        out[i] = validate::concretize_sequence(built, batch[i]);
+      },
+      cancel.raw());
+}
+
+void SimulateStage::run_batch(
+    std::span<const validate::ConcretizedProgram> batch,
+    std::size_t first_sequence, std::size_t max_cycles,
+    std::span<RunMetrics> out, runtime::ThreadPool& pool,
+    const CancellationToken& cancel, obs::EventSink& sink) {
+  obs::ScopedSpan span(sink, obs::Stage::kSimulate);
+  pool.for_each_index(
+      batch.size(),
+      [&](std::size_t i) {
+        const auto r = validate::run_validation(batch[i], {}, max_cycles);
+        out[i] = RunMetrics{first_sequence + i, r.impl_cycles,
+                            r.checkpoints_compared, r.passed,
+                            r.cycle_budget_exhausted};
+      },
+      cancel.raw());
+}
+
+std::vector<BugExposure> CompareStage::run(
+    std::span<const dlx::PipelineBug> bugs,
+    std::span<const validate::ConcretizedProgram> programs,
+    std::size_t max_cycles, runtime::ThreadPool& pool,
+    const CancellationToken& cancel, obs::EventSink& sink) {
+  std::vector<BugExposure> exposures(bugs.size());
+  obs::ScopedSpan span(sink, obs::Stage::kCompare);
+  // Independent across bugs; within a bug the programs run in order with
+  // early exit at the first exposing one, exactly like the serial engine.
+  // Budget-exhausted runs never count as exposure.
+  pool.for_each_index(
+      bugs.size(),
+      [&](std::size_t b) {
+        BugExposure exposure;
+        exposure.bug = bugs[b];
+        const dlx::PipelineConfig config{{bugs[b]}};
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+          const auto r =
+              validate::run_validation(programs[i], config, max_cycles);
+          ++exposure.programs_run;
+          exposure.impl_cycles += r.impl_cycles;
+          if (r.cycle_budget_exhausted) exposure.budget_exhausted = true;
+          if (r.error_detected()) {
+            exposure.exposed = true;
+            exposure.exposing_sequence = i;
+            break;
+          }
+        }
+        sink.item(obs::Stage::kCompare, "bug", b, exposure.programs_run);
+        exposures[b] = exposure;
+      },
+      cancel.raw());
+  return exposures;
+}
+
+MutantCoverageResult MutantReplayStage::run(
+    const fsm::MealyMachine& machine, fsm::StateId start,
+    const MutantCoverageOptions& options) {
+  obs::SpanRecorder recorder;
+  obs::MultiSink sink;
+  sink.add(&recorder);
+  sink.add(options.sink);
+
+  MutantCoverageResult result;
+  tour::TourSet set;
+  {
+    obs::ScopedSpan span(sink, obs::Stage::kTour);
+    set = generate_test_set(machine, start, options.method,
+                            options.random_length, options.seed);
+    if (options.k_extension > 0) {
+      for (auto& seq : set.sequences) {
+        extend_sequence(machine, start, seq, options.k_extension);
+      }
+    }
+  }
+  sink.status(obs::Stage::kTour, obs::StageStatus::kOk);
+  result.sequences = set.sequences.size();
+  result.test_length = set.total_length();
+  sink.counter(obs::Stage::kTour, "sequences", result.sequences);
+  sink.counter(obs::Stage::kTour, "steps", result.test_length);
+
+  std::size_t sampled = 0;
+  {
+    obs::ScopedSpan span(sink, obs::Stage::kMutantReplay);
+    // Mutant sampling draws from its own stream: deriving it from the
+    // walk's seed (the old `seed ^ 0x9e3779b9` scheme) correlates the
+    // sampled error space with the random tests meant to find it.
+    const auto mutants = errmodel::sample_mutations(
+        machine, start, machine.output_alphabet_size(), options.mutant_sample,
+        runtime::derive_stream(options.seed, runtime::Stream::kMutantStream));
+    sampled = mutants.size();
+
+    // Replay every mutant against the test set, sharded; per-mutant
+    // verdicts land in their own slot and are folded in sample order
+    // afterwards.
+    struct Verdict {
+      bool exposed = false;
+      bool equivalent = false;
+    };
+    std::vector<Verdict> verdicts(mutants.size());
+    runtime::parallel_for_each(
+        options.threads, mutants.size(),
+        [&](std::size_t m) {
+          const auto& mut = mutants[m];
+          Verdict v;
+          for (const auto& seq : set.sequences) {
+            if (errmodel::exposes(machine, mut, start, seq)) {
+              v.exposed = true;
+              break;
+            }
+          }
+          if (!v.exposed && options.exclude_equivalent) {
+            // An unexposed mutant may simply be no error at all: check full
+            // behavioural equivalence before counting it against the
+            // method.
+            const auto mutant = errmodel::apply_mutation(machine, mut);
+            v.equivalent =
+                fsm::check_equivalence(machine, start, mutant, start)
+                    .equivalent;
+          }
+          verdicts[m] = v;
+        },
+        options.cancel.raw());
+    if (!options.cancel.cancelled()) {
+      // Fold only complete replays: a cancelled loop leaves unclaimed
+      // slots default-initialized, which would read as unexposed mutants.
+      for (const auto& v : verdicts) {
+        if (v.equivalent) {
+          ++result.equivalent;
+          continue;
+        }
+        ++result.mutants;
+        if (v.exposed) ++result.exposed;
+      }
+    }
+  }
+  const bool cancelled = options.cancel.cancelled();
+  sink.status(obs::Stage::kMutantReplay,
+              cancelled ? obs::StageStatus::kCancelled
+                        : obs::StageStatus::kOk);
+  sink.counter(obs::Stage::kMutantReplay, "mutants_sampled", sampled);
+  sink.counter(obs::Stage::kMutantReplay, "mutants_exposed", result.exposed);
+
+  result.timings = timings_from_spans(recorder);
+  result.stage_reports.push_back(
+      StageReport{obs::Stage::kTour, recorder.stage_status(obs::Stage::kTour),
+                  result.sequences, recorder.seconds(obs::Stage::kTour)});
+  result.stage_reports.push_back(StageReport{
+      obs::Stage::kMutantReplay,
+      recorder.stage_status(obs::Stage::kMutantReplay), sampled,
+      recorder.seconds(obs::Stage::kMutantReplay)});
+  return result;
+}
+
+}  // namespace simcov::pipeline

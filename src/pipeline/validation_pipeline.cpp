@@ -1,0 +1,217 @@
+#include "pipeline/validation_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pipeline/stages.hpp"
+#include "runtime/thread_pool.hpp"
+#include "validate/harness.hpp"
+
+namespace simcov::pipeline {
+
+namespace {
+
+/// True when the stage's accumulated span time has passed its deadline.
+bool past_deadline(const StageBudget& budget, const obs::SpanRecorder& spans,
+                   obs::Stage stage) {
+  return budget.deadline_seconds.has_value() &&
+         spans.seconds(stage) >= *budget.deadline_seconds;
+}
+
+/// True when the stage has processed its item cap.
+bool items_exhausted(const StageBudget& budget, std::size_t items) {
+  return budget.max_items.has_value() && items >= *budget.max_items;
+}
+
+}  // namespace
+
+CampaignResult ValidationPipeline::run(
+    std::span<const dlx::PipelineBug> bugs) {
+  obs::SpanRecorder recorder;
+  obs::MultiSink sink;
+  sink.add(&recorder);
+  sink.add(options_.sink);
+  const CancellationToken& cancel = options_.cancel;
+
+  CampaignResult result;
+  auto build = ModelBuildStage::run(options_, sink, result);
+  SymbolicSnapshotStage::run(options_, *build.built, *build.model, sink,
+                             result);
+
+  auto stream =
+      TourStage::open(options_, *build.model, build.explicit_model, sink);
+
+  // One worker pool for every sharded loop below. Each loop writes into
+  // pre-sized per-index slots, so the outcome is independent of scheduling.
+  runtime::ThreadPool pool(options_.threads);
+  const std::size_t window = options_.max_in_flight_sequences != 0
+                                 ? options_.max_in_flight_sequences
+                                 : 2 * pool.size();
+
+  std::vector<validate::ConcretizedProgram> programs;
+  auto tour_status = obs::StageStatus::kOk;
+  auto concretize_status = obs::StageStatus::kOk;
+  auto simulate_status = obs::StageStatus::kOk;
+  bool stream_done = false;
+  std::size_t yielded = 0;        // sequences pulled from the stream
+  std::size_t in_flight_peak = 0;
+
+  while (!stream_done) {
+    // Budgets and cancellation truncate at batch boundaries only, so a
+    // run without budgets never diverges from the monolithic engine.
+    if (cancel.cancelled()) {
+      tour_status = obs::StageStatus::kCancelled;
+      break;
+    }
+    if (items_exhausted(options_.budgets.tour, yielded) ||
+        past_deadline(options_.budgets.tour, recorder, obs::Stage::kTour)) {
+      tour_status = obs::StageStatus::kBudgetExhausted;
+      break;
+    }
+    if (items_exhausted(options_.budgets.concretize, programs.size()) ||
+        past_deadline(options_.budgets.concretize, recorder,
+                      obs::Stage::kConcretize)) {
+      concretize_status = obs::StageStatus::kBudgetExhausted;
+      break;
+    }
+    if (items_exhausted(options_.budgets.simulate,
+                        result.clean_runs.size()) ||
+        past_deadline(options_.budgets.simulate, recorder,
+                      obs::Stage::kSimulate)) {
+      simulate_status = obs::StageStatus::kBudgetExhausted;
+      break;
+    }
+
+    // Pull one window of sequences from the tour stream.
+    std::vector<std::vector<std::vector<bool>>> batch;
+    {
+      obs::ScopedSpan span(sink, obs::Stage::kTour);
+      while (batch.size() < window &&
+             !items_exhausted(options_.budgets.tour,
+                              yielded + batch.size())) {
+        auto seq = stream->next_sequence();
+        if (!seq.has_value()) {
+          stream_done = true;
+          break;
+        }
+        sink.item(obs::Stage::kTour, "sequence", yielded + batch.size(),
+                  seq->size());
+        batch.push_back(std::move(*seq));
+      }
+    }
+    if (batch.empty()) continue;  // loop re-checks budgets / termination
+    yielded += batch.size();
+    in_flight_peak = std::max(in_flight_peak, batch.size());
+    const std::size_t first = result.clean_runs.size();
+
+    // Concretize the batch (backend-neutral: each tour step is already a
+    // primary-input bit vector).
+    std::vector<validate::ConcretizedProgram> batch_programs(batch.size());
+    ConcretizeStage::run_batch(*build.built, batch, batch_programs, pool,
+                               cancel, sink);
+    if (cancel.cancelled()) {
+      // The pool drained mid-batch: unclaimed slots are empty. Drop the
+      // whole batch — per-batch atomicity keeps the retained prefix exact.
+      concretize_status = obs::StageStatus::kCancelled;
+      break;
+    }
+    for (std::size_t i = 0; i < batch_programs.size(); ++i) {
+      sink.item(obs::Stage::kConcretize, "program", first + i,
+                batch_programs[i].instructions.size());
+    }
+
+    // Clean runs: the bug-free implementation must pass everything.
+    std::vector<RunMetrics> batch_runs(batch.size());
+    SimulateStage::run_batch(batch_programs, first, options_.max_cycles,
+                             batch_runs, pool, cancel, sink);
+    if (cancel.cancelled()) {
+      simulate_status = obs::StageStatus::kCancelled;
+      break;
+    }
+
+    // The batch survived both pools: commit it. The raw tour sequences die
+    // here — only the concretized programs persist (for CompareStage).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      sink.item(obs::Stage::kSimulate, "clean_run", first + i,
+                batch_runs[i].impl_cycles);
+      result.sequences += 1;
+      result.test_length += batch[i].size();
+      result.total_instructions += batch_programs[i].instructions.size();
+      result.clean_runs.push_back(batch_runs[i]);
+      programs.push_back(std::move(batch_programs[i]));
+    }
+  }
+
+  sink.counter(obs::Stage::kTour, "sequences_in_flight_peak", in_flight_peak);
+  {
+    // Coverage statistics come from the stream's own tracker, so a
+    // truncated tour reports the coverage of what was actually yielded.
+    const auto summary = stream->summary();
+    result.state_coverage = summary.coverage.state_coverage();
+    result.transition_coverage = summary.coverage.transition_coverage();
+  }
+  result.clean_pass =
+      std::all_of(result.clean_runs.begin(), result.clean_runs.end(),
+                  [](const RunMetrics& r) { return r.passed; });
+  sink.status(obs::Stage::kTour, tour_status);
+  sink.status(obs::Stage::kConcretize, concretize_status);
+  sink.status(obs::Stage::kSimulate, simulate_status);
+
+  // Per-bug exposure runs over whatever test set was produced — a
+  // budget-truncated set still yields meaningful (if inconclusive)
+  // exposure data. A cancelled campaign skips the stage entirely.
+  auto compare_status = obs::StageStatus::kOk;
+  std::size_t bugs_compared = 0;
+  if (cancel.cancelled()) {
+    compare_status = obs::StageStatus::kCancelled;
+  } else {
+    auto compare_bugs = bugs;
+    if (options_.budgets.compare.max_items.has_value() &&
+        compare_bugs.size() > *options_.budgets.compare.max_items) {
+      compare_bugs = compare_bugs.first(*options_.budgets.compare.max_items);
+      compare_status = obs::StageStatus::kBudgetExhausted;
+    }
+    result.exposures = CompareStage::run(compare_bugs, programs,
+                                         options_.max_cycles, pool, cancel,
+                                         sink);
+    bugs_compared = result.exposures.size();
+    if (cancel.cancelled()) {
+      // Cancelled mid-compare: partial exposure slots are meaningless.
+      result.exposures.clear();
+      bugs_compared = 0;
+      compare_status = obs::StageStatus::kCancelled;
+    } else if (past_deadline(options_.budgets.compare, recorder,
+                             obs::Stage::kCompare)) {
+      // The compare pool is one indivisible shard pass; its deadline is
+      // reported post-hoc rather than truncating mid-bug.
+      compare_status = obs::StageStatus::kBudgetExhausted;
+    }
+  }
+  sink.status(obs::Stage::kCompare, compare_status);
+
+  for (const auto& r : result.clean_runs) {
+    if (r.budget_exhausted) ++result.runs_inconclusive;
+  }
+  for (const auto& e : result.exposures) {
+    if (e.budget_exhausted) ++result.runs_inconclusive;
+  }
+
+  result.timings = timings_from_spans(recorder);
+  const bool symbolic_ran =
+      options_.collect_symbolic_stats ||
+      result.backend == model::Backend::kSymbolic;
+  auto report = [&](obs::Stage stage, std::size_t items) {
+    result.stage_reports.push_back(StageReport{
+        stage, recorder.stage_status(stage), items,
+        recorder.seconds(stage)});
+  };
+  report(obs::Stage::kModelBuild, 1);
+  if (symbolic_ran) report(obs::Stage::kSymbolic, 1);
+  report(obs::Stage::kTour, yielded);
+  report(obs::Stage::kConcretize, programs.size());
+  report(obs::Stage::kSimulate, result.clean_runs.size());
+  report(obs::Stage::kCompare, bugs_compared);
+  return result;
+}
+
+}  // namespace simcov::pipeline

@@ -1,0 +1,41 @@
+// The streaming campaign executor: assembles the typed stages of
+// pipeline/stages.hpp into the paper's Figure-1 flow.
+//
+//   ModelBuildStage -> SymbolicSnapshotStage -> TourStage
+//       -> [ ConcretizeStage -> SimulateStage ]  (batched, streaming)
+//       -> CompareStage
+//
+// Test sequences are pulled from the model::TourStream in windows of
+// `max_in_flight_sequences` and flow straight through concretization into
+// the sharded clean-run loop; the raw sequences are released as soon as
+// their batch is simulated, so peak test-set memory is bounded by the
+// window, not the tour length. (Concretized programs are retained — the
+// per-bug compare stage replays all of them.)
+//
+// Determinism: every batch writes into per-index slots and the stream
+// yields sequences in a fixed order, so for identical options the result
+// is bit-identical to the pre-pipeline monolith at any thread count.
+// Budgets and cancellation truncate at batch boundaries; the affected
+// stage reports kBudgetExhausted / kCancelled in the result's
+// stage_reports and the campaign completes on what was produced.
+#pragma once
+
+#include <span>
+
+#include "pipeline/contracts.hpp"
+
+namespace simcov::pipeline {
+
+class ValidationPipeline {
+ public:
+  explicit ValidationPipeline(CampaignOptions options)
+      : options_(std::move(options)) {}
+
+  /// Runs the full campaign against each bug in `bugs` (plus clean runs).
+  [[nodiscard]] CampaignResult run(std::span<const dlx::PipelineBug> bugs);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace simcov::pipeline

@@ -29,6 +29,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work(Job& job) {
   for (;;) {
+    if (job.cancel != nullptr &&
+        job.cancel->load(std::memory_order_relaxed)) {
+      // Drain: stop handing out the remaining indices.
+      job.next.store(job.count, std::memory_order_relaxed);
+      return;
+    }
     const std::size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= job.count) return;
     try {
@@ -68,11 +74,13 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::for_each_index(std::size_t count,
-                                const std::function<void(std::size_t)>& fn) {
+                                const std::function<void(std::size_t)>& fn,
+                                const std::atomic<bool>* cancel) {
   if (count == 0) return;
   Job job;
   job.fn = &fn;
   job.count = count;
+  job.cancel = cancel;
   if (!workers_.empty() && count > 1) {
     {
       std::lock_guard lock(mutex_);
@@ -94,14 +102,20 @@ void ThreadPool::for_each_index(std::size_t count,
 }
 
 void parallel_for_each(std::size_t threads, std::size_t count,
-                       const std::function<void(std::size_t)>& fn) {
+                       const std::function<void(std::size_t)>& fn,
+                       const std::atomic<bool>* cancel) {
   const std::size_t lanes = resolve_threads(threads);
   if (lanes <= 1 || count <= 1) {
-    for (std::size_t k = 0; k < count; ++k) fn(k);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return;
+      }
+      fn(k);
+    }
     return;
   }
   ThreadPool pool(lanes);
-  pool.for_each_index(count, fn);
+  pool.for_each_index(count, fn, cancel);
 }
 
 }  // namespace simcov::runtime

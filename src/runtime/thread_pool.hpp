@@ -46,13 +46,21 @@ class ThreadPool {
   /// Runs fn(0) ... fn(count-1), each exactly once, across all lanes.
   /// Blocks until every index has finished; rethrows the first task
   /// exception. Not reentrant: do not call from inside a task.
+  ///
+  /// When `cancel` is non-null and becomes true, the remaining unclaimed
+  /// indices are drained without running — indices already claimed by a
+  /// lane still finish, so callers that check the flag afterwards see a
+  /// prefix-complete-plus-stragglers picture and must treat the whole
+  /// batch as abandoned (per-index result slots make that trivial).
   void for_each_index(std::size_t count,
-                      const std::function<void(std::size_t)>& fn);
+                      const std::function<void(std::size_t)>& fn,
+                      const std::atomic<bool>* cancel = nullptr);
 
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t count = 0;
+    const std::atomic<bool>* cancel = nullptr;
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;  // first failure; guarded by error_mutex
     std::mutex error_mutex;
@@ -73,8 +81,10 @@ class ThreadPool {
 
 /// One-shot helper: runs fn(0..count-1) on a transient pool of
 /// `resolve_threads(threads)` lanes. `threads <= 1` or `count <= 1` runs
-/// inline without spawning anything.
+/// inline without spawning anything. `cancel` as in
+/// ThreadPool::for_each_index (the inline path checks it between indices).
 void parallel_for_each(std::size_t threads, std::size_t count,
-                       const std::function<void(std::size_t)>& fn);
+                       const std::function<void(std::size_t)>& fn,
+                       const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace simcov::runtime

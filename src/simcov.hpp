@@ -59,6 +59,14 @@
 #include "validate/concretize.hpp"
 #include "validate/harness.hpp"
 
+// Pipeline instrumentation (spans, counters, JSONL traces).
+#include "obs/event_sink.hpp"
+
+// The streaming validation pipeline (typed stages, budgets, cancellation).
+#include "pipeline/contracts.hpp"
+#include "pipeline/stages.hpp"
+#include "pipeline/validation_pipeline.hpp"
+
 // Methodology drivers: requirements, campaigns, reports.
 #include "core/campaign.hpp"
 #include "core/report.hpp"

@@ -6,9 +6,8 @@
 
 namespace simcov::sym {
 
-namespace {
-
-/// Drives the tour: concrete walking over the implicit model.
+/// Drives the tour: concrete walking over the implicit model, suspended at
+/// every reset so SymbolicTourStream can yield sequence-by-sequence.
 ///
 /// Per visited state, the valid inputs and their successor states are
 /// enumerated once (via generalized cofactor of the input constraint) and
@@ -17,9 +16,9 @@ namespace {
 /// taking i at s, so inputs before the cursor are covered, inputs after are
 /// not. Navigation toward uncovered states uses pre-image distance layers,
 /// recomputed lazily when stale.
-class TourDriver {
+struct SymbolicTourStream::Impl {
  public:
-  TourDriver(SymbolicFsm& fsm, const SymbolicTourOptions& options)
+  Impl(SymbolicFsm& fsm, const SymbolicTourOptions& options)
       : fsm_(fsm),
         mgr_(fsm.manager()),
         options_(options),
@@ -30,21 +29,15 @@ class TourDriver {
           "symbolic_transition_tour: too many variables for packed keys");
     }
     assignment_.assign(mgr_.var_count(), false);
-    zeros_pi_.assign(num_pis_, false);
-  }
 
-  SymbolicTourResult run() {
-    SymbolicTourResult result;
     const bdd::Bdd reached = fsm_.reachable_states();
-    result.transitions_total = fsm_.count_transitions(reached);
-    const auto total_count =
-        static_cast<std::size_t>(result.transitions_total);
+    transitions_total_ = fsm_.count_transitions(reached);
+    total_count_ = static_cast<std::size_t>(transitions_total_);
 
     // Shared cross-backend coverage accounting: distinct visited states and
     // distinct taken transitions (navigation steps included — they exercise
     // transitions just like covering steps do).
-    model::CoverageTracker tracker(fsm_.count_states(reached),
-                                   result.transitions_total);
+    tracker_.emplace(fsm_.count_states(reached), transitions_total_);
 
     const std::vector<unsigned> pi_vec(fsm_.pi_vars().begin(),
                                        fsm_.pi_vars().end());
@@ -52,12 +45,17 @@ class TourDriver {
         reached & mgr_.exists(fsm_.valid_inputs(), mgr_.cube(pi_vec));
 
     state_ = pack_bits(fsm_.initial_state_bits());
-    tracker.visit_state(state_);
-    if (options_.record_inputs) result.sequences.emplace_back();
+    tracker_->visit_state(state_);
+  }
 
-    while (result.steps < options_.max_steps) {
-      if (covered_count_ >= total_count) {
-        result.complete = true;
+  /// Resumes the walk until the next reset or until it ends. See the
+  /// header for the yielded-sequence contract.
+  std::optional<std::vector<std::vector<bool>>> next_sequence() {
+    if (finished_) return std::nullopt;
+    std::vector<std::vector<bool>> seq;
+    while (steps_ < options_.max_steps) {
+      if (covered_count_ >= total_count_) {
+        complete_ = true;
         break;
       }
       StateInfo& info = state_info(state_);
@@ -73,21 +71,33 @@ class TourDriver {
           pending_exhausted_.push_back(state_);
         }
       } else if (!navigate(info, input, next)) {
-        // No path to an uncovered transition from here: reset.
-        ++result.restarts;
+        // No path to an uncovered transition from here: reset and yield the
+        // sequence that just ended.
+        ++restarts_;
         state_ = pack_bits(fsm_.initial_state_bits());
-        if (options_.record_inputs) result.sequences.emplace_back();
-        continue;
+        return seq;
       }
       if (options_.record_inputs) {
-        result.sequences.back().push_back(unpack_input(input));
+        seq.push_back(unpack_input(input));
       }
-      tracker.cover_transition(state_, input);
+      tracker_->cover_transition(state_, input);
       state_ = next;
-      tracker.visit_state(state_);
-      ++result.steps;
+      tracker_->visit_state(state_);
+      ++steps_;
     }
-    result.stats = tracker.stats();
+    finished_ = true;
+    return seq;
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  [[nodiscard]] SymbolicTourResult summary() const {
+    SymbolicTourResult result;
+    result.steps = steps_;
+    result.restarts = restarts_;
+    result.transitions_total = transitions_total_;
+    result.complete = complete_;
+    result.stats = tracker_->stats();
     // The tracker count dominates the per-state cursors: navigation may
     // take an edge its cursor has not reached yet, which still covers it —
     // a step-capped walk can therefore be complete before the cursors are.
@@ -168,7 +178,7 @@ class TourDriver {
     return mgr_.eval(f, assignment_);
   }
 
-  // ---- navigation ---------------------------------------------------------------
+  // ---- navigation ----------------------------------------------------------
   void flush_exhausted() {
     if (pending_exhausted_.empty()) return;
     bdd::Bdd gone = mgr_.zero();
@@ -236,20 +246,50 @@ class TourDriver {
 
   std::uint64_t state_ = 0;
   std::vector<bool> assignment_;
-  std::vector<bool> zeros_pi_;
   std::unordered_map<std::uint64_t, StateInfo> cache_;
   std::vector<std::uint64_t> pending_exhausted_;
   std::size_t covered_count_ = 0;
+  std::size_t total_count_ = 0;
+  double transitions_total_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t restarts_ = 0;
+  bool complete_ = false;
+  bool finished_ = false;
+  std::optional<model::CoverageTracker> tracker_;
   bdd::Bdd uncovered_states_;
   std::vector<bdd::Bdd> layers_;
 };
 
-}  // namespace
+SymbolicTourStream::SymbolicTourStream(SymbolicFsm& fsm,
+                                       const SymbolicTourOptions& options)
+    : impl_(std::make_unique<Impl>(fsm, options)) {}
+
+SymbolicTourStream::~SymbolicTourStream() = default;
+SymbolicTourStream::SymbolicTourStream(SymbolicTourStream&&) noexcept = default;
+SymbolicTourStream& SymbolicTourStream::operator=(SymbolicTourStream&&) noexcept =
+    default;
+
+std::optional<std::vector<std::vector<bool>>>
+SymbolicTourStream::next_sequence() {
+  return impl_->next_sequence();
+}
+
+bool SymbolicTourStream::finished() const { return impl_->finished(); }
+
+SymbolicTourResult SymbolicTourStream::summary() const {
+  return impl_->summary();
+}
 
 SymbolicTourResult symbolic_transition_tour(
     SymbolicFsm& fsm, const SymbolicTourOptions& options) {
-  TourDriver driver(fsm, options);
-  return driver.run();
+  SymbolicTourStream stream(fsm, options);
+  std::vector<std::vector<std::vector<bool>>> sequences;
+  while (auto seq = stream.next_sequence()) {
+    if (options.record_inputs) sequences.push_back(std::move(*seq));
+  }
+  SymbolicTourResult result = stream.summary();
+  result.sequences = std::move(sequences);
+  return result;
 }
 
 }  // namespace simcov::sym

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "model/coverage.hpp"
@@ -56,7 +58,45 @@ struct SymbolicTourResult {
 };
 
 /// Generates a transition tour of `fsm` on the implicit representation.
+/// Convenience wrapper: drains a SymbolicTourStream to completion.
 SymbolicTourResult symbolic_transition_tour(
     SymbolicFsm& fsm, const SymbolicTourOptions& options = {});
+
+/// Incremental form of symbolic_transition_tour: the walk is suspended at
+/// every reset, yielding one reset-separated input sequence at a time so
+/// downstream stages can consume a sequence while the walk continues. The
+/// concatenation of all yielded sequences is exactly what
+/// symbolic_transition_tour would have recorded for the same fsm/options
+/// (including a possibly empty trailing sequence after a final reset).
+///
+/// With record_inputs off the yielded sequences are empty vectors — the
+/// segmentation and the summary statistics are still exact.
+///
+/// The fsm must outlive the stream.
+class SymbolicTourStream {
+ public:
+  explicit SymbolicTourStream(SymbolicFsm& fsm,
+                              const SymbolicTourOptions& options = {});
+  ~SymbolicTourStream();
+  SymbolicTourStream(SymbolicTourStream&&) noexcept;
+  SymbolicTourStream& operator=(SymbolicTourStream&&) noexcept;
+
+  /// Walks until the next reset (yielding the finished sequence) or until
+  /// the tour completes / hits the step cap (yielding the final sequence).
+  /// nullopt once the walk has ended.
+  std::optional<std::vector<std::vector<bool>>> next_sequence();
+
+  /// True once next_sequence() has returned its last sequence.
+  [[nodiscard]] bool finished() const;
+
+  /// Statistics of the walk so far (final once finished()). The returned
+  /// result's `sequences` is always empty — the caller already holds the
+  /// yielded sequences.
+  [[nodiscard]] SymbolicTourResult summary() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace simcov::sym

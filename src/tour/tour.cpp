@@ -185,38 +185,51 @@ std::size_t TourSet::total_length() const {
   return n;
 }
 
+TransitionTourSetGenerator::TransitionTourSetGenerator(const MealyMachine& m,
+                                                       StateId start)
+    : machine_(m), start_(start) {
+  const auto targets = m.reachable_transitions(start);
+  uncovered_ = std::set<fsm::TransitionRef>(targets.begin(), targets.end());
+}
+
+std::optional<std::vector<InputId>> TransitionTourSetGenerator::next() {
+  if (uncovered_.empty() || stuck_) return std::nullopt;
+  auto has_uncovered_out = [&](StateId s) {
+    auto it = uncovered_.lower_bound(fsm::TransitionRef{s, 0});
+    return it != uncovered_.end() && it->state == s;
+  };
+  std::vector<InputId> seq;
+  StateId at = start_;
+  bool progressed = false;
+  for (;;) {
+    const auto path = bfs_to(machine_, at, has_uncovered_out);
+    if (!path.has_value()) break;  // stuck: end this sequence
+    for (InputId i : *path) {
+      uncovered_.erase(fsm::TransitionRef{at, i});
+      seq.push_back(i);
+      at = machine_.transition(at, i)->next;
+    }
+    const auto it = uncovered_.lower_bound(fsm::TransitionRef{at, 0});
+    const InputId i = it->input;
+    uncovered_.erase(it);
+    seq.push_back(i);
+    at = machine_.transition(at, i)->next;
+    progressed = true;
+  }
+  if (!progressed) {  // even a fresh reset can't reach
+    stuck_ = true;
+    return std::nullopt;
+  }
+  return seq;
+}
+
 std::optional<TourSet> greedy_transition_tour_set(const MealyMachine& m,
                                                   StateId start) {
-  const auto targets = m.reachable_transitions(start);
-  std::set<fsm::TransitionRef> uncovered(targets.begin(), targets.end());
+  TransitionTourSetGenerator gen(m, start);
   TourSet set;
   set.start = start;
-  auto has_uncovered_out = [&](StateId s) {
-    auto it = uncovered.lower_bound(fsm::TransitionRef{s, 0});
-    return it != uncovered.end() && it->state == s;
-  };
-  while (!uncovered.empty()) {
-    std::vector<InputId> seq;
-    StateId at = start;
-    bool progressed = false;
-    for (;;) {
-      const auto path = bfs_to(m, at, has_uncovered_out);
-      if (!path.has_value()) break;  // stuck: end this sequence
-      for (InputId i : *path) {
-        uncovered.erase(fsm::TransitionRef{at, i});
-        seq.push_back(i);
-        at = m.transition(at, i)->next;
-      }
-      const auto it = uncovered.lower_bound(fsm::TransitionRef{at, 0});
-      const InputId i = it->input;
-      uncovered.erase(it);
-      seq.push_back(i);
-      at = m.transition(at, i)->next;
-      progressed = true;
-    }
-    if (!progressed) return std::nullopt;  // even a fresh reset can't reach
-    set.sequences.push_back(std::move(seq));
-  }
+  while (auto seq = gen.next()) set.sequences.push_back(std::move(*seq));
+  if (gen.stuck()) return std::nullopt;
   return set;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -80,6 +81,38 @@ struct TourSet {
 /// even after a reset (cannot happen for transitions reachable from start).
 std::optional<TourSet> greedy_transition_tour_set(const fsm::MealyMachine& m,
                                                   fsm::StateId start);
+
+/// Incremental form of greedy_transition_tour_set: yields the tour set one
+/// reset-separated sequence at a time, so a campaign can concretize and
+/// simulate each sequence while the next one is still being generated,
+/// never holding the whole test set in memory. Produces exactly the
+/// sequences (and order) of greedy_transition_tour_set — that function is
+/// now a thin loop over this generator.
+///
+/// The machine must outlive the generator.
+class TransitionTourSetGenerator {
+ public:
+  TransitionTourSetGenerator(const fsm::MealyMachine& m, fsm::StateId start);
+
+  /// The next sequence of the set; nullopt when every reachable transition
+  /// is covered (done()) or when the generator is stuck().
+  std::optional<std::vector<fsm::InputId>> next();
+
+  /// Every reachable transition has been covered.
+  [[nodiscard]] bool done() const { return uncovered_.empty(); }
+  /// A reset no longer reaches any uncovered transition (the failure case
+  /// greedy_transition_tour_set reports as an empty optional).
+  [[nodiscard]] bool stuck() const { return stuck_; }
+  /// Transitions still to cover.
+  [[nodiscard]] std::size_t remaining() const { return uncovered_.size(); }
+  [[nodiscard]] fsm::StateId start() const { return start_; }
+
+ private:
+  const fsm::MealyMachine& machine_;
+  fsm::StateId start_;
+  std::set<fsm::TransitionRef> uncovered_;
+  bool stuck_ = false;
+};
 
 /// State/transition coverage achieved by running `inputs` from `start`.
 /// Totals count the reachable portion of the machine.

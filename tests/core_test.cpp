@@ -139,17 +139,18 @@ TEST(MutantCoverage, TransitionTourBeatsBaselines) {
   // Fair denominator: behaviourally equivalent mutants are no error at all
   // and would otherwise depress every method's rate by the same noise.
   tt.exclude_equivalent = true;
-  const auto tour_result = evaluate_mutant_coverage(em.machine, 0, tt);
+  const model::ExplicitModel test_model(em.machine, 0);
+  const auto tour_result = evaluate_mutant_coverage(test_model, tt);
   EXPECT_EQ(tour_result.mutants + tour_result.equivalent, 150u);
 
   MutantCoverageOptions st = tt;
   st.method = TestMethod::kStateTour;
-  const auto state_result = evaluate_mutant_coverage(em.machine, 0, st);
+  const auto state_result = evaluate_mutant_coverage(test_model, st);
 
   MutantCoverageOptions rw = tt;
   rw.method = TestMethod::kRandomWalk;
   rw.random_length = state_result.test_length;  // equal length budget
-  const auto random_result = evaluate_mutant_coverage(em.machine, 0, rw);
+  const auto random_result = evaluate_mutant_coverage(test_model, rw);
 
   // The transition tour exposes the most mutants; the state tour and the
   // random walk miss transitions they never exercise.
@@ -173,7 +174,8 @@ TEST(MutantCoverage, ExcitedButUnexposedWithoutExtension) {
   with.method = TestMethod::kTransitionTourSet;
   with.k_extension = 1;
   with.mutant_sample = 1000;  // all mutants of this small machine
-  const auto full = evaluate_mutant_coverage(m, 0, with);
+  const auto full =
+      evaluate_mutant_coverage(model::ExplicitModel(m, 0), with);
   ASSERT_TRUE(full.exposure_rate().has_value());
   EXPECT_DOUBLE_EQ(*full.exposure_rate(), 1.0);
 }
@@ -356,7 +358,12 @@ TEST(MutantCoverage, ExplicitModelOverloadMatchesMachineOverload) {
   MutantCoverageOptions options;
   options.method = TestMethod::kTransitionTourSet;
   options.mutant_sample = 50;
+  // The machine-taking overload is the deprecated compatibility shim; this
+  // equivalence test is its one sanctioned caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto via_machine = evaluate_mutant_coverage(machine, 0, options);
+#pragma GCC diagnostic pop
   const model::ExplicitModel adapter(machine, 0);
   const auto via_model = evaluate_mutant_coverage(adapter, options);
   EXPECT_EQ(via_machine.mutants, via_model.mutants);
@@ -407,12 +414,13 @@ TEST(ParallelMutantCoverage, BitIdenticalAtAnyThreadCount) {
   options.k_extension = 3;
   options.exclude_equivalent = true;
   options.threads = 1;
-  const auto serial = evaluate_mutant_coverage(em.machine, 0, options);
+  const model::ExplicitModel test_model(em.machine, 0);
+  const auto serial = evaluate_mutant_coverage(test_model, options);
   for (const std::size_t threads :
        {std::size_t{2}, std::size_t{std::thread::hardware_concurrency()},
         std::size_t{0}}) {
     options.threads = threads;
-    const auto parallel = evaluate_mutant_coverage(em.machine, 0, options);
+    const auto parallel = evaluate_mutant_coverage(test_model, options);
     EXPECT_EQ(serial.mutants, parallel.mutants);
     EXPECT_EQ(serial.exposed, parallel.exposed);
     EXPECT_EQ(serial.equivalent, parallel.equivalent);

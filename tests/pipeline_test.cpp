@@ -1,0 +1,425 @@
+// Tests for the streaming validation pipeline: stage budgets, cooperative
+// cancellation, the in-flight window, the span-derived timings view, the
+// JSONL trace sink, and — the refactor's safety net — bit-identity of the
+// pipelined campaign against pre-refactor golden reports at several thread
+// counts.
+#include "pipeline/contracts.hpp"
+#include "pipeline/stages.hpp"
+#include "pipeline/validation_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "fsm/mealy.hpp"
+#include "model/explicit_model.hpp"
+#include "obs/event_sink.hpp"
+#include "tour/tour.hpp"
+
+namespace simcov {
+namespace {
+
+testmodel::TestModelOptions tiny_model_options() {
+  testmodel::TestModelOptions opt;
+  opt.output_sync_latches = false;
+  opt.fetch_controller = false;
+  opt.aux_outputs = false;
+  opt.onehot_opclass = false;
+  opt.interlock_registers = false;
+  opt.reg_addr_bits = 1;
+  opt.reduced_isa = true;
+  return opt;
+}
+
+core::CampaignOptions tour_campaign_options() {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kTransitionTourSet;
+  options.threads = 1;
+  return options;
+}
+
+const std::vector<dlx::PipelineBug> kThreeBugs{
+    dlx::PipelineBug::kNoLoadUseStall,
+    dlx::PipelineBug::kNoForwardExMemA,
+    dlx::PipelineBug::kNoSquashOnTakenBranch,
+};
+
+/// The campaign outcome with wall-clock timings erased.
+std::string semantic_fingerprint(core::CampaignResult result) {
+  result.timings = {};
+  result.bdd_stats.reset();
+  result.symbolic_stats.reset();
+  return core::to_json(result);
+}
+
+const pipeline::StageReport* find_report(
+    const std::vector<pipeline::StageReport>& reports, obs::Stage stage) {
+  for (const auto& r : reports) {
+    if (r.stage == stage) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming tour generation matches the materialized generators
+// ---------------------------------------------------------------------------
+
+TEST(TourStreaming, GeneratorMatchesMaterializedTourSet) {
+  const auto m = fsm::random_connected_machine(40, 3, 5, 11);
+  const auto set = tour::greedy_transition_tour_set(m, 0);
+  ASSERT_TRUE(set.has_value());
+
+  tour::TransitionTourSetGenerator gen(m, 0);
+  std::vector<std::vector<fsm::InputId>> streamed;
+  while (auto seq = gen.next()) streamed.push_back(std::move(*seq));
+  EXPECT_TRUE(gen.done());
+  EXPECT_FALSE(gen.stuck());
+  EXPECT_EQ(streamed, set->sequences);
+}
+
+TEST(TourStreaming, ExplicitStreamMatchesMaterializedTour) {
+  const auto m = fsm::random_connected_machine(30, 2, 4, 5);
+  model::ExplicitModel materialized(m, 0);
+  const auto full = materialized.transition_tour();
+
+  model::ExplicitModel streamed_model(m, 0);
+  auto stream = streamed_model.transition_tour_stream();
+  std::vector<std::vector<std::vector<bool>>> sequences;
+  while (auto seq = stream->next_sequence()) {
+    sequences.push_back(std::move(*seq));
+  }
+  const auto summary = stream->summary();
+
+  EXPECT_EQ(sequences, full.tour.sequences);
+  EXPECT_EQ(summary.steps, full.steps);
+  EXPECT_EQ(summary.restarts, full.restarts);
+  EXPECT_EQ(summary.complete, full.complete);
+  EXPECT_DOUBLE_EQ(summary.coverage.state_coverage(),
+                   full.coverage.state_coverage());
+  EXPECT_DOUBLE_EQ(summary.coverage.transition_coverage(),
+                   full.coverage.transition_coverage());
+  EXPECT_TRUE(summary.tour.sequences.empty())
+      << "the summary must not rematerialize the yielded sequences";
+}
+
+TEST(TourStreaming, MaterializedStreamHandlesEmptyTour) {
+  model::MaterializedTourStream stream{model::TourResult{}};
+  EXPECT_FALSE(stream.next_sequence().has_value());
+  const auto summary = stream.summary();
+  EXPECT_EQ(summary.steps, 0u);
+  EXPECT_FALSE(summary.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Stage budgets
+// ---------------------------------------------------------------------------
+
+TEST(PipelineBudget, TourItemCapTruncatesAndReportsExhausted) {
+  auto options = tour_campaign_options();
+  options.budgets.tour.max_items = 3;
+  const auto result = core::run_campaign(options, kThreeBugs);
+
+  EXPECT_EQ(result.sequences, 3u);
+  EXPECT_EQ(result.clean_runs.size(), 3u);
+  EXPECT_TRUE(result.budget_exhausted());
+  EXPECT_FALSE(result.cancelled());
+  const auto* tour = find_report(result.stage_reports, obs::Stage::kTour);
+  ASSERT_NE(tour, nullptr);
+  EXPECT_EQ(tour->status, obs::StageStatus::kBudgetExhausted);
+  EXPECT_EQ(tour->items, 3u);
+  // Compare still runs over the truncated test set.
+  EXPECT_EQ(result.exposures.size(), kThreeBugs.size());
+  // A truncated tour reports the coverage of what was actually yielded.
+  EXPECT_LT(result.transition_coverage, 1.0);
+  EXPECT_GT(result.transition_coverage, 0.0);
+}
+
+TEST(PipelineBudget, ZeroTourBudgetYieldsEmptyInconclusiveRun) {
+  auto options = tour_campaign_options();
+  options.budgets.tour.max_items = 0;
+  const auto result = core::run_campaign(options, kThreeBugs);
+
+  EXPECT_EQ(result.sequences, 0u);
+  EXPECT_TRUE(result.clean_runs.empty());
+  EXPECT_TRUE(result.budget_exhausted());
+  // Nothing ran, so nothing failed — but nothing was exposed either.
+  EXPECT_TRUE(result.clean_pass);
+  ASSERT_EQ(result.exposures.size(), kThreeBugs.size());
+  for (const auto& e : result.exposures) {
+    EXPECT_FALSE(e.exposed);
+    EXPECT_EQ(e.programs_run, 0u);
+  }
+}
+
+TEST(PipelineBudget, CompareItemCapTruncatesBugList) {
+  auto options = tour_campaign_options();
+  options.budgets.compare.max_items = 1;
+  const auto result = core::run_campaign(options, kThreeBugs);
+
+  ASSERT_EQ(result.exposures.size(), 1u);
+  EXPECT_EQ(result.exposures[0].bug, kThreeBugs[0]);
+  EXPECT_TRUE(result.budget_exhausted());
+  const auto* compare = find_report(result.stage_reports,
+                                    obs::Stage::kCompare);
+  ASSERT_NE(compare, nullptr);
+  EXPECT_EQ(compare->status, obs::StageStatus::kBudgetExhausted);
+  EXPECT_EQ(compare->items, 1u);
+}
+
+TEST(PipelineBudget, DefaultBudgetsMatchUnbudgetedRun) {
+  auto options = tour_campaign_options();
+  const auto plain = core::run_campaign(options, kThreeBugs);
+  EXPECT_FALSE(plain.budget_exhausted());
+  EXPECT_FALSE(plain.cancelled());
+
+  // Budgets far above the workload must not perturb the outcome.
+  options.budgets.tour.max_items = 1u << 20;
+  options.budgets.simulate.deadline_seconds = 1e9;
+  options.max_in_flight_sequences = 2;
+  const auto budgeted = core::run_campaign(options, kThreeBugs);
+  EXPECT_EQ(semantic_fingerprint(budgeted), semantic_fingerprint(plain));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Cancels the campaign's token when the Nth tour sequence is announced.
+class CancelAfterSequences final : public obs::EventSink {
+ public:
+  CancelAfterSequences(pipeline::CancellationToken token, std::uint64_t after)
+      : token_(std::move(token)), after_(after) {}
+
+  void item(obs::Stage stage, std::string_view kind, std::uint64_t id,
+            std::uint64_t) override {
+    if (stage == obs::Stage::kTour && kind == "sequence" && id + 1 >= after_) {
+      token_.cancel();
+    }
+  }
+
+ private:
+  pipeline::CancellationToken token_;
+  std::uint64_t after_;
+};
+
+TEST(PipelineCancel, MidStreamCancellationIsBatchAtomic) {
+  auto options = tour_campaign_options();
+  options.max_in_flight_sequences = 1;  // one sequence per batch
+  CancelAfterSequences sink(options.cancel, 3);
+  options.sink = &sink;
+  const auto result = core::run_campaign(options, kThreeBugs);
+
+  // The token trips while sequence 2 (the third) is pulled; its batch is
+  // dropped whole, so exactly the two earlier sequences were committed.
+  EXPECT_TRUE(result.cancelled());
+  EXPECT_EQ(result.sequences, 2u);
+  EXPECT_EQ(result.clean_runs.size(), 2u);
+  const auto* concretize = find_report(result.stage_reports,
+                                       obs::Stage::kConcretize);
+  ASSERT_NE(concretize, nullptr);
+  EXPECT_EQ(concretize->status, obs::StageStatus::kCancelled);
+  // Compare never starts on a cancelled campaign.
+  EXPECT_TRUE(result.exposures.empty());
+  const auto* compare = find_report(result.stage_reports,
+                                    obs::Stage::kCompare);
+  ASSERT_NE(compare, nullptr);
+  EXPECT_EQ(compare->status, obs::StageStatus::kCancelled);
+}
+
+TEST(PipelineCancel, PreCancelledMutantReplayReportsNothingExposed) {
+  const auto m = fsm::random_connected_machine(10, 2, 4, 3);
+  core::MutantCoverageOptions options;
+  options.mutant_sample = 50;
+  options.cancel.cancel();
+  const auto result =
+      core::evaluate_mutant_coverage(model::ExplicitModel(m, 0), options);
+  EXPECT_TRUE(result.cancelled());
+  EXPECT_EQ(result.exposed, 0u);
+  const auto* replay = find_report(result.stage_reports,
+                                   obs::Stage::kMutantReplay);
+  ASSERT_NE(replay, nullptr);
+  EXPECT_EQ(replay->status, obs::StageStatus::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming window
+// ---------------------------------------------------------------------------
+
+/// Records the counters a pipeline run emits.
+class CounterRecorder final : public obs::EventSink {
+ public:
+  void counter(obs::Stage, std::string_view name,
+               std::uint64_t value) override {
+    if (name == "sequences_in_flight_peak") peak_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+ private:
+  std::uint64_t peak_ = 0;
+};
+
+TEST(PipelineWindow, InFlightSequencesBoundedByWindow) {
+  auto options = tour_campaign_options();
+  const auto reference = core::run_campaign(options, kThreeBugs);
+  ASSERT_GT(reference.sequences, 2u);
+
+  // Cap the window far below the sequence count: the peak must respect it
+  // and the outcome must not change — streaming bounds memory, not results.
+  CounterRecorder counters;
+  options.max_in_flight_sequences = 2;
+  options.sink = &counters;
+  const auto windowed = core::run_campaign(options, kThreeBugs);
+  EXPECT_LE(counters.peak(), 2u);
+  EXPECT_GT(counters.peak(), 0u);
+  EXPECT_EQ(semantic_fingerprint(windowed), semantic_fingerprint(reference));
+}
+
+// ---------------------------------------------------------------------------
+// Timings as a projection of the stage spans
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTimings, TotalSecondsIsThePhaseSum) {
+  const auto result = core::run_campaign(tour_campaign_options(), kThreeBugs);
+  // Equal up to floating-point summation order (the invariant
+  // timings_from_spans itself asserts).
+  EXPECT_NEAR(result.timings.total_seconds, result.timings.phase_sum(),
+              1e-9 * result.timings.total_seconds + 1e-12);
+  EXPECT_GT(result.timings.total_seconds, 0.0);
+
+  // The stage reports carry the same span accumulation the timings view is
+  // computed from, so their sum reproduces the total.
+  double stage_sum = 0.0;
+  for (const auto& r : result.stage_reports) stage_sum += r.seconds;
+  EXPECT_NEAR(stage_sum, result.timings.total_seconds,
+              1e-9 * result.timings.total_seconds + 1e-12);
+}
+
+TEST(PipelineTimings, MutantReplayTimingsAreSpanDerived) {
+  const auto m = fsm::random_connected_machine(12, 2, 4, 9);
+  core::MutantCoverageOptions options;
+  options.mutant_sample = 40;
+  const auto result =
+      core::evaluate_mutant_coverage(model::ExplicitModel(m, 0), options);
+  EXPECT_NEAR(result.timings.total_seconds, result.timings.phase_sum(),
+              1e-9 * result.timings.total_seconds + 1e-12);
+  EXPECT_GT(result.timings.tour_seconds, 0.0);
+  EXPECT_GT(result.timings.simulate_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace sink
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTrace, JsonlSinkStreamsParseableEvents) {
+  const std::string path =
+      testing::TempDir() + "pipeline_trace_test.jsonl";
+  {
+    obs::JsonlTraceSink sink(path);
+    auto options = tour_campaign_options();
+    options.sink = &sink;
+    const auto result = core::run_campaign(options, kThreeBugs);
+    ASSERT_TRUE(result.clean_pass);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_span = false;
+  bool saw_item = false;
+  bool saw_status = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"event\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"stage\":"), std::string::npos) << line;
+    saw_span = saw_span || line.find("\"event\":\"span\"") != std::string::npos;
+    saw_item = saw_item || line.find("\"event\":\"item\"") != std::string::npos;
+    saw_status =
+        saw_status || line.find("\"event\":\"status\"") != std::string::npos;
+  }
+  EXPECT_GT(lines, 10u);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_item);
+  EXPECT_TRUE(saw_status);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity: the streamed pipeline reproduces the pre-refactor
+// monolithic engine exactly (timings erased), at any thread count.
+// ---------------------------------------------------------------------------
+
+// Captured from the pre-refactor engine (commit "Unify explicit and
+// symbolic test models behind one TestModel interface") with the dumper
+// configuration mirrored in each test below.
+constexpr const char* kGoldenExplicitTour =
+    R"json({"report":"campaign","model":{"backend":"explicit","latches":21,"primary_inputs":8,"states":1024,"transitions":21508},"test_set":{"sequences":19,"steps":40678,"instructions":39401,"state_coverage":1,"transition_coverage":1},"clean_pass":true,"bugs_exposed":3,"runs_inconclusive":0,"total_impl_cycles":42783,"clean_runs":[{"sequence":0,"impl_cycles":39631,"checkpoints":35261,"passed":true,"budget_exhausted":false},{"sequence":1,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":2,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":3,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":4,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":5,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":6,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":7,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":8,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":9,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":10,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":11,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":12,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":13,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":14,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":15,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":16,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":17,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":18,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false}],"exposures":[{"bug":"missing load-use interlock","exposed":true,"programs_run":1,"impl_cycles":586,"budget_exhausted":false,"exposing_sequence":0},{"bug":"no EX/MEM bypass (A)","exposed":true,"programs_run":1,"impl_cycles":1050,"budget_exhausted":false,"exposing_sequence":0},{"bug":"no squash on taken branch","exposed":true,"programs_run":1,"impl_cycles":1408,"budget_exhausted":false,"exposing_sequence":0}],"timings":{"model_build_seconds":0,"symbolic_seconds":0,"tour_seconds":0,"concretize_seconds":0,"simulate_seconds":0,"total_seconds":0}})json";
+
+constexpr const char* kGoldenRandomWalk =
+    R"json({"report":"campaign","model":{"backend":"explicit","latches":21,"primary_inputs":8,"states":1024,"transitions":21508},"test_set":{"sequences":1,"steps":120,"instructions":111,"state_coverage":0.100586,"transition_coverage":0.00553282},"clean_pass":true,"bugs_exposed":1,"runs_inconclusive":0,"total_impl_cycles":155,"clean_runs":[{"sequence":0,"impl_cycles":120,"checkpoints":101,"passed":true,"budget_exhausted":false}],"exposures":[{"bug":"missing load-use interlock","exposed":true,"programs_run":1,"impl_cycles":35,"budget_exhausted":false,"exposing_sequence":0}],"timings":{"model_build_seconds":0,"symbolic_seconds":0,"tour_seconds":0,"concretize_seconds":0,"simulate_seconds":0,"total_seconds":0}})json";
+
+constexpr const char* kGoldenSymbolicTour =
+    R"json({"report":"campaign","model":{"backend":"symbolic","latches":21,"primary_inputs":8,"states":1024,"transitions":21508},"test_set":{"sequences":19,"steps":41497,"instructions":40220,"state_coverage":1,"transition_coverage":1},"clean_pass":true,"bugs_exposed":2,"runs_inconclusive":0,"total_impl_cycles":42558,"clean_runs":[{"sequence":0,"impl_cycles":40460,"checkpoints":36080,"passed":true,"budget_exhausted":false},{"sequence":1,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":2,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":3,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":4,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":5,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":6,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":7,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":8,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":9,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":10,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":11,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":12,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":13,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":14,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":15,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":16,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":17,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false},{"sequence":18,"impl_cycles":6,"checkpoints":2,"passed":true,"budget_exhausted":false}],"exposures":[{"bug":"missing load-use interlock","exposed":true,"programs_run":1,"impl_cycles":586,"budget_exhausted":false,"exposing_sequence":0},{"bug":"no squash on taken branch","exposed":true,"programs_run":1,"impl_cycles":1404,"budget_exhausted":false,"exposing_sequence":0}],"timings":{"model_build_seconds":0,"symbolic_seconds":0,"tour_seconds":0,"concretize_seconds":0,"simulate_seconds":0,"total_seconds":0}})json";
+
+const std::size_t kGoldenThreadCounts[] = {1, 2, 8};
+
+TEST(PipelineGolden, ExplicitTourMatchesPreRefactorEngine) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kTransitionTourSet;
+  options.seed = 1;
+  for (const std::size_t threads : kGoldenThreadCounts) {
+    options.threads = threads;
+    const auto result = core::run_campaign(options, kThreeBugs);
+    EXPECT_EQ(semantic_fingerprint(result), kGoldenExplicitTour)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineGolden, RandomWalkMatchesPreRefactorEngine) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kRandomWalk;
+  options.random_length = 120;
+  options.seed = 7;
+  const std::vector<dlx::PipelineBug> bugs{dlx::PipelineBug::kNoLoadUseStall};
+  for (const std::size_t threads : kGoldenThreadCounts) {
+    options.threads = threads;
+    const auto result = core::run_campaign(options, bugs);
+    EXPECT_EQ(semantic_fingerprint(result), kGoldenRandomWalk)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineGolden, SymbolicTourMatchesPreRefactorEngine) {
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kTransitionTourSet;
+  options.backend = core::BackendChoice::kSymbolic;
+  options.seed = 1;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+  };
+  for (const std::size_t threads : kGoldenThreadCounts) {
+    options.threads = threads;
+    const auto result = core::run_campaign(options, bugs);
+    EXPECT_EQ(semantic_fingerprint(result), kGoldenSymbolicTour)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace simcov

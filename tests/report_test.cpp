@@ -206,7 +206,9 @@ TEST(Campaign, WMethodWorksOnMinimizableModel) {
   opt.method = core::TestMethod::kWMethod;
   opt.mutant_sample = 100;
   const auto r = core::evaluate_mutant_coverage(
-      minimized.machine, minimized.machine.initial_state(), opt);
+      model::ExplicitModel(minimized.machine,
+                           minimized.machine.initial_state()),
+      opt);
   // On the minimized machine the W-method exposes every real fault.
   EXPECT_EQ(r.exposed, r.mutants);
 }
