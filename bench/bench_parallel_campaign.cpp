@@ -21,6 +21,7 @@
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "model/explicit_model.hpp"
+#include "store/fingerprint.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -38,10 +39,22 @@ simcov::testmodel::TestModelOptions tour_model_options() {
   return opt;
 }
 
-/// The campaign outcome with timings erased, for identity comparison.
+/// The campaign outcome with timings and store activity erased, for
+/// identity comparison (wall clock and cache hit/miss counts legitimately
+/// differ between otherwise identical runs).
 std::string semantic_fingerprint(simcov::core::CampaignResult result) {
   result.timings = {};
+  result.store_stats.reset();
   return simcov::core::to_json(result);
+}
+
+/// Content hash of the semantic report — one short value CI can compare
+/// across invocations to assert warm runs reproduce cold runs exactly.
+std::string report_hash(const simcov::core::CampaignResult& result) {
+  const std::string json = semantic_fingerprint(result);
+  simcov::store::Hasher h;
+  h.str(json);
+  return h.digest().hex();
 }
 
 }  // namespace
@@ -73,6 +86,8 @@ int main(int argc, char** argv) {
   base.model_options = tour_model_options();
   base.method = core::TestMethod::kTransitionTourSet;
   base.sink = bench::trace();
+  base.store_dir = bench::store_dir();
+  base.resume = bench::resume();
 
   bench::header("Parallel campaign engine: DLX bug-exposure campaign");
   bench::row("hardware threads",
@@ -154,6 +169,12 @@ int main(int argc, char** argv) {
 
   bench::row("parallel results identical to serial",
              all_identical ? "yes" : "NO");
+  bench::row("campaign report hash", report_hash(parallel_result));
+  if (parallel_result.store_stats.has_value()) {
+    const auto& s = *parallel_result.store_stats;
+    bench::row("store hits (last run)", std::size_t{s.hits});
+    bench::row("store misses (last run)", std::size_t{s.misses});
+  }
   if (speedup_at_4 > 0.0) {
     std::printf("  %-52s %.2fx\n", "speedup at 4 threads", speedup_at_4);
   }

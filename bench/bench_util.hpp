@@ -10,6 +10,10 @@
 // `--trace <path>` opens an obs::JsonlTraceSink; benches pass trace() as
 // CampaignOptions::sink so every pipeline span / counter / item / status
 // event streams to the file as JSON Lines.
+//
+// `--store <dir>` and `--resume` expose the artifact store: benches pass
+// store_dir() / resume() into CampaignOptions so repeated invocations
+// reuse cached tours and checkpoints across processes.
 #pragma once
 
 #include <chrono>
@@ -37,6 +41,8 @@ struct Section {
 struct Recorder {
   std::string binary = "bench";
   std::string json_path;
+  std::string store_dir;
+  bool resume = false;
   std::vector<Section> sections;
   /// (key, raw JSON document) pairs embedded verbatim by finish().
   std::vector<std::pair<std::string, std::string>> attachments;
@@ -56,8 +62,9 @@ struct Recorder {
 
 }  // namespace detail
 
-/// Parses bench command-line flags (`--json <path>`, `--trace <path>`).
-/// Exits with status 2 on anything unrecognized or an unopenable trace.
+/// Parses bench command-line flags (`--json <path>`, `--trace <path>`,
+/// `--store <dir>`, `--resume`). Exits with status 2 on anything
+/// unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
   if (argc > 0 && argv[0] != nullptr) {
@@ -76,8 +83,14 @@ inline void init(int argc, char** argv) {
         std::fprintf(stderr, "%s: %s\n", rec.binary.c_str(), e.what());
         std::exit(2);
       }
+    } else if (arg == "--store" && i + 1 < argc) {
+      rec.store_dir = argv[++i];
+    } else if (arg == "--resume") {
+      rec.resume = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--trace <path>] "
+                   "[--store <dir>] [--resume]\n",
                    rec.binary.c_str());
       std::exit(2);
     }
@@ -88,6 +101,17 @@ inline void init(int argc, char** argv) {
 /// CampaignOptions::sink / MutantCoverageOptions::sink.
 [[nodiscard]] inline obs::EventSink* trace() {
   return detail::Recorder::instance().trace_sink.get();
+}
+
+/// The --store directory (empty when the flag was not given) — plugs into
+/// CampaignOptions::store_dir.
+[[nodiscard]] inline const std::string& store_dir() {
+  return detail::Recorder::instance().store_dir;
+}
+
+/// True when --resume was given — plugs into CampaignOptions::resume.
+[[nodiscard]] inline bool resume() {
+  return detail::Recorder::instance().resume;
 }
 
 inline void header(const std::string& title) {

@@ -53,13 +53,4 @@ CampaignResult run_campaign(const CampaignOptions& options,
 MutantCoverageResult evaluate_mutant_coverage(
     const model::ExplicitModel& model, const MutantCoverageOptions& options);
 
-/// Deprecated machine-level shim: wrap the machine in a model::ExplicitModel
-/// and use the overload above (the TestModel seam is the supported API).
-[[deprecated(
-    "wrap the machine in model::ExplicitModel and call the TestModel "
-    "overload")]]
-MutantCoverageResult evaluate_mutant_coverage(
-    const fsm::MealyMachine& machine, fsm::StateId start,
-    const MutantCoverageOptions& options);
-
 }  // namespace simcov::core

@@ -1,10 +1,12 @@
 // Minimal JSON assembly: objects/arrays with comma tracking. Shared by the
 // core report emitters and the bench binaries' --json output; no external
-// dependencies. All keys in this codebase are literals and all strings
-// ASCII, so no escaping table is needed beyond quotes and backslashes.
+// dependencies. Keys are always literal identifiers; string *values* get
+// full RFC 8259 escaping (quotes, backslashes, and every control character
+// below 0x20, including NUL), so arbitrary bytes survive the round trip.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -114,8 +116,24 @@ class JsonWriter {
   void write_string(const std::string& value) {
     os_ << '"';
     for (const char c : value) {
-      if (c == '"' || c == '\\') os_ << '\\';
-      os_ << c;
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\b': os_ << "\\b"; break;
+        case '\f': os_ << "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
     }
     os_ << '"';
   }

@@ -207,6 +207,18 @@ std::string to_json(const CampaignResult& result) {
         .field("gc_runs", b.gc_runs)
         .end_object();
   }
+  if (result.store_stats.has_value()) {
+    const auto& s = *result.store_stats;
+    w.begin_object("store")
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("evictions", s.evictions)
+        .field("checkpoint_writes", s.checkpoint_writes)
+        .field("bytes_read", s.bytes_read)
+        .field("bytes_written", s.bytes_written)
+        .field("resumed_sequences", s.resumed_sequences)
+        .end_object();
+  }
   w.end_object();
   return w.str();
 }

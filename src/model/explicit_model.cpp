@@ -96,6 +96,18 @@ std::optional<std::uint64_t> ExplicitModel::step(std::uint64_t state,
   return state_keys_[t->next];
 }
 
+std::optional<std::uint64_t> ExplicitModel::output(std::uint64_t state,
+                                                   std::uint64_t input) {
+  const auto s = key_to_state_.find(state);
+  const auto i = key_to_input_.find(input);
+  if (s == key_to_state_.end() || i == key_to_input_.end()) {
+    return std::nullopt;
+  }
+  const auto t = machine_.transition(s->second, i->second);
+  if (!t.has_value()) return std::nullopt;
+  return static_cast<std::uint64_t>(t->output);
+}
+
 std::vector<bool> ExplicitModel::input_vector(std::uint64_t input) const {
   const auto it = key_to_input_.find(input);
   if (it == key_to_input_.end()) {

@@ -78,6 +78,23 @@ std::optional<std::uint64_t> SymbolicModel::step(std::uint64_t state,
   return next;
 }
 
+std::optional<std::uint64_t> SymbolicModel::output(std::uint64_t state,
+                                                   std::uint64_t input) {
+  if (!valid_at(state, input)) return std::nullopt;
+  const auto& funcs = fsm_.output_functions();
+  if (funcs.size() > 63) {
+    throw std::invalid_argument(
+        "SymbolicModel::output: too many outputs for a packed 64-bit key");
+  }
+  std::uint64_t out = 0;
+  for (std::size_t j = 0; j < funcs.size(); ++j) {
+    if (mgr_.eval(funcs[j], assignment_)) {
+      out |= std::uint64_t{1} << j;
+    }
+  }
+  return out;
+}
+
 std::vector<bool> SymbolicModel::input_vector(std::uint64_t input) const {
   return unpack_bits(input, fsm_.num_inputs());
 }

@@ -47,6 +47,8 @@ class SymbolicModel final : public TestModel {
   std::vector<Edge> edges(std::uint64_t state) override;
   std::optional<std::uint64_t> step(std::uint64_t state,
                                     std::uint64_t input) override;
+  std::optional<std::uint64_t> output(std::uint64_t state,
+                                      std::uint64_t input) override;
   [[nodiscard]] std::vector<bool> input_vector(
       std::uint64_t input) const override;
   [[nodiscard]] double count_reachable_states() override;

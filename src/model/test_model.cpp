@@ -1,6 +1,8 @@
 #include "model/test_model.hpp"
 
+#include <deque>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace simcov::model {
 
@@ -34,6 +36,29 @@ std::vector<bool> TestModel::unpack_bits(std::uint64_t key, unsigned width) {
 std::unique_ptr<TourStream> TestModel::transition_tour_stream(
     const TourOptions& options) {
   return std::make_unique<MaterializedTourStream>(transition_tour(options));
+}
+
+void TestModel::visit_reachable(
+    std::size_t max_states,
+    const std::function<void(std::uint64_t, const Edge&)>& visit) {
+  std::unordered_set<std::uint64_t> seen;
+  std::deque<std::uint64_t> frontier;
+  seen.insert(reset_state());
+  frontier.push_back(reset_state());
+  while (!frontier.empty()) {
+    const std::uint64_t state = frontier.front();
+    frontier.pop_front();
+    for (const Edge& edge : edges(state)) {
+      visit(state, edge);
+      if (seen.insert(edge.next).second) {
+        if (seen.size() > max_states) {
+          throw std::runtime_error(
+              "TestModel::visit_reachable: state space exceeds max_states");
+        }
+        frontier.push_back(edge.next);
+      }
+    }
+  }
 }
 
 CoverageStats TestModel::evaluate(const Tour& tour) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -140,6 +141,14 @@ class TestModel {
   /// in that state (the paper's input don't-cares).
   virtual std::optional<std::uint64_t> step(std::uint64_t state,
                                             std::uint64_t input) = 0;
+  /// Packed output of the transition out of `state` under `input`; nullopt
+  /// when the input is invalid there. Packing follows the key convention:
+  /// little-endian output bits for circuit-backed models, the dense output
+  /// id for bare Mealy machines (the two coincide through encode_circuit).
+  /// Part of the fingerprinting surface — behavioural fingerprints must see
+  /// output errors, which leave the edge structure unchanged.
+  virtual std::optional<std::uint64_t> output(std::uint64_t state,
+                                              std::uint64_t input) = 0;
 
   /// Little-endian PI bit vector of a packed input key (for concretization).
   [[nodiscard]] virtual std::vector<bool> input_vector(
@@ -166,6 +175,18 @@ class TestModel {
   virtual TourResult random_walk(std::size_t length, std::uint64_t seed) = 0;
 
   // ---- Shared helpers over the primitives --------------------------------
+
+  /// Deterministic BFS over the reachable state space from reset, in packed-
+  /// key order: states are expanded in the order discovered, and within a
+  /// state the edges arrive sorted by input key (the edges() contract). The
+  /// callback sees every reachable (state, input, successor) triple exactly
+  /// once. Both backends produce the identical traversal for the same
+  /// machine — this is the canonicalization behind store::fingerprint_model.
+  /// Throws std::runtime_error when more than `max_states` states are
+  /// discovered.
+  void visit_reachable(
+      std::size_t max_states,
+      const std::function<void(std::uint64_t state, const Edge& edge)>& visit);
 
   /// Replays a tour from reset through a CoverageTracker. Throws
   /// std::domain_error on an invalid input.

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -102,6 +103,23 @@ class SpanRecorder final : public EventSink {
   mutable std::mutex mutex_;
   std::array<double, kStageCount> seconds_{};
   std::array<StageStatus, kStageCount> status_{};
+};
+
+/// Accumulates counter events by name, summed across stages and emissions.
+/// Fits event-per-occurrence counters (`store.hit`, `checkpoint.write`, …);
+/// snapshot-style counters (e.g. `sequences_in_flight_peak`) sum too, so
+/// read those from a trace instead. Thread-safe.
+class CounterRecorder final : public EventSink {
+ public:
+  void counter(Stage stage, std::string_view name,
+               std::uint64_t value) override;
+
+  /// Total accumulated value of a counter name (0 when never emitted).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
 };
 
 /// Forwards every event to each registered sink, in order.

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -31,6 +32,7 @@
 #include "fsm/mealy.hpp"
 #include "model/test_model.hpp"
 #include "obs/event_sink.hpp"
+#include "store/artifact_store.hpp"
 #include "testmodel/testmodel.hpp"
 
 namespace simcov::pipeline {
@@ -172,6 +174,25 @@ struct CampaignOptions {
   /// Cap on tour sequences held in flight at once (the streaming window).
   /// 0 = twice the worker-pool lanes.
   std::size_t max_in_flight_sequences = 0;
+
+  // ---- Artifact store (content-addressed caching + checkpoint/resume) ----
+  /// Directory of the artifact store. Empty: no store — no caching, no
+  /// checkpoints. The tour and symbolic-snapshot stages consult the store
+  /// before computing and publish on miss; the simulate loop checkpoints
+  /// its committed prefix (see checkpoint_every).
+  std::string store_dir;
+  /// LRU size cap over non-checkpoint artifacts in the store, bytes
+  /// (0 = unlimited).
+  std::uint64_t store_max_bytes = 0;
+  /// Resume from the store's checkpoint for this campaign key, if one
+  /// exists: the checkpointed prefix is re-pulled from the (deterministic)
+  /// tour stream and re-concretized, but its simulations are restored
+  /// instead of re-run — the final report is identical to an uninterrupted
+  /// campaign. No-op without store_dir or without a matching checkpoint.
+  bool resume = false;
+  /// Write a checkpoint every N committed sequences (0 disables). Only
+  /// meaningful with store_dir.
+  std::size_t checkpoint_every = 16;
 };
 
 struct BugExposure {
@@ -211,6 +232,13 @@ struct CampaignResult {
   std::optional<bdd::BddStats> bdd_stats;
   /// Per-stage outcome of the pipeline run (not part of the JSON report).
   std::vector<StageReport> stage_reports;
+  /// Store activity of this campaign; set only when an artifact store was
+  /// configured (CampaignOptions::store_dir). Emitted as "store" in the
+  /// JSON report.
+  std::optional<store::StoreStats> store_stats;
+  /// Content key of this campaign's report artifact; set only when a store
+  /// was configured (core::run_campaign publishes the JSON under it).
+  std::optional<store::Fingerprint> report_key;
 
   [[nodiscard]] std::size_t bugs_exposed() const;
   [[nodiscard]] std::uint64_t total_impl_cycles() const;

@@ -8,6 +8,8 @@
 #include "errmodel/errmodel.hpp"
 #include "model/symbolic_model.hpp"
 #include "runtime/rng.hpp"
+#include "store/codec.hpp"
+#include "store/tour_cache.hpp"
 #include "sym/symbolic_fsm.hpp"
 #include "validate/harness.hpp"
 
@@ -133,7 +135,9 @@ ModelBuildStage::Output ModelBuildStage::run(const CampaignOptions& options,
 void SymbolicSnapshotStage::run(const CampaignOptions& options,
                                 const testmodel::BuiltTestModel& built,
                                 model::TestModel& model, obs::EventSink& sink,
-                                CampaignResult& result) {
+                                CampaignResult& result,
+                                store::ArtifactStore* store,
+                                const store::Fingerprint& key) {
   if (!options.collect_symbolic_stats &&
       result.backend != model::Backend::kSymbolic) {
     return;
@@ -141,18 +145,42 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
   obs::ScopedSpan span(sink, obs::Stage::kSymbolic);
   if (auto* sym_model = dynamic_cast<model::SymbolicModel*>(&model)) {
     // The campaign already holds the implicit representation; snapshot it
-    // instead of paying a second reachability fixpoint.
+    // instead of paying a second reachability fixpoint. Nothing to cache.
     result.symbolic_stats = sym_model->fsm().stats();
     result.bdd_stats = sym_model->manager().stats();
   } else if (options.collect_symbolic_stats) {
+    // The only expensive path: a dedicated manager pays a full fixpoint.
+    if (store != nullptr) {
+      if (auto payload = store->load(store::ArtifactKind::kSymbolicSnapshot,
+                                     key, obs::Stage::kSymbolic, sink)) {
+        try {
+          const auto snap = store::snapshot_from_payload(*payload);
+          result.symbolic_stats = snap.fsm;
+          result.bdd_stats = snap.bdd;
+          return;
+        } catch (const store::CodecError&) {
+          // Undecodable payload: fall through and recompute.
+        }
+      }
+    }
     bdd::BddManager mgr;
     sym::SymbolicFsm symbolic(mgr, built.circuit);
     result.symbolic_stats = symbolic.stats();
     result.bdd_stats = mgr.stats();
+    if (store != nullptr) {
+      store::SymbolicSnapshot snap{*result.symbolic_stats,
+                                   *result.bdd_stats};
+      store->publish(store::ArtifactKind::kSymbolicSnapshot, key,
+                     store::to_payload(snap), obs::Stage::kSymbolic, sink);
+    }
   }
 }
 
-std::unique_ptr<model::TourStream> TourStage::open(
+namespace {
+
+/// The store-oblivious part of TourStage::open: the live generator stream
+/// for the chosen method.
+std::unique_ptr<model::TourStream> open_live_stream(
     const CampaignOptions& options, model::TestModel& model,
     model::ExplicitModel* explicit_model, obs::EventSink& sink) {
   switch (options.method) {
@@ -185,6 +213,40 @@ std::unique_ptr<model::TourStream> TourStage::open(
     }
   }
   throw std::logic_error("unknown test method");
+}
+
+}  // namespace
+
+std::unique_ptr<model::TourStream> TourStage::open(
+    const CampaignOptions& options, model::TestModel& model,
+    model::ExplicitModel* explicit_model, obs::EventSink& sink,
+    store::ArtifactStore* store, const store::Fingerprint& key) {
+  // A tour budget truncates generation, and a truncated tour is not the
+  // tour the key describes — bypass the cache entirely in that case.
+  const bool cacheable =
+      store != nullptr &&
+      !options.budgets.tour.deadline_seconds.has_value() &&
+      !options.budgets.tour.max_items.has_value();
+  if (cacheable) {
+    obs::ScopedSpan span(sink, obs::Stage::kTour);
+    if (auto payload =
+            store->load(store::ArtifactKind::kTour, key, obs::Stage::kTour,
+                        sink)) {
+      try {
+        return std::make_unique<store::StoredTourStream>(
+            std::move(*payload));
+      } catch (const store::CodecError&) {
+        // Undecodable payload: fall through to live generation.
+      }
+    }
+  }
+  auto live = open_live_stream(options, model, explicit_model, sink);
+  if (cacheable) {
+    // Tee the live stream so the executor can publish the finished tour.
+    return std::make_unique<store::RecordingTourStream>(std::move(live),
+                                                        model.input_bits());
+  }
+  return live;
 }
 
 void ConcretizeStage::run_batch(

@@ -21,6 +21,7 @@
 #include "model/explicit_model.hpp"
 #include "pipeline/contracts.hpp"
 #include "runtime/thread_pool.hpp"
+#include "store/artifact_store.hpp"
 #include "tour/tour.hpp"
 #include "validate/concretize.hpp"
 
@@ -46,12 +47,16 @@ struct ModelBuildStage {
 
 /// Optional BDD view snapshot (CampaignOptions::collect_symbolic_stats, or
 /// implied by the symbolic backend). Reuses the campaign's own implicit
-/// representation when there is one. One kSymbolic span; no-op otherwise.
+/// representation when there is one; the explicit-backend path — the only
+/// one that pays a second reachability fixpoint — consults the artifact
+/// store under `key` first and publishes on miss. One kSymbolic span;
+/// no-op otherwise.
 struct SymbolicSnapshotStage {
   static void run(const CampaignOptions& options,
                   const testmodel::BuiltTestModel& built,
                   model::TestModel& model, obs::EventSink& sink,
-                  CampaignResult& result);
+                  CampaignResult& result, store::ArtifactStore* store,
+                  const store::Fingerprint& key);
 };
 
 /// Opens the test-sequence stream for the chosen method. Transition tours
@@ -59,10 +64,17 @@ struct SymbolicSnapshotStage {
 /// methods materialize first and stream from memory. Generation time lands
 /// in kTour spans (here for the materializing methods, per pulled batch in
 /// the executor for the native streams).
+///
+/// With an artifact store, the stage consults it under `key` first: a hit
+/// replays the stored tour (generation is skipped entirely); a miss wraps
+/// the live stream in a store::RecordingTourStream so the executor can
+/// publish the finished tour. Caching is bypassed when a tour budget is
+/// set — a truncated tour is not the tour the key describes.
 struct TourStage {
   static std::unique_ptr<model::TourStream> open(
       const CampaignOptions& options, model::TestModel& model,
-      model::ExplicitModel* explicit_model, obs::EventSink& sink);
+      model::ExplicitModel* explicit_model, obs::EventSink& sink,
+      store::ArtifactStore* store, const store::Fingerprint& key);
 };
 
 /// Concretizes one batch of tour sequences into DLX programs, sharded over

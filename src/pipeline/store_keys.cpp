@@ -1,0 +1,53 @@
+#include "pipeline/store_keys.hpp"
+
+namespace simcov::pipeline {
+
+CampaignStoreKeys campaign_store_keys(const CampaignOptions& options,
+                                      const sym::SequentialCircuit& circuit,
+                                      model::Backend backend,
+                                      std::span<const dlx::PipelineBug> bugs) {
+  const store::Fingerprint circuit_fp = store::fingerprint_circuit(circuit);
+  const store::Fingerprint options_fp =
+      store::fingerprint_options(options.model_options);
+
+  CampaignStoreKeys keys;
+  {
+    store::Hasher h;
+    h.str("simcov.key.tour.v1");
+    h.fp(circuit_fp).fp(options_fp);
+    h.u8(static_cast<std::uint8_t>(backend));
+    h.u8(static_cast<std::uint8_t>(options.method));
+    h.u64(options.max_tour_steps);
+    h.u64(options.random_length);
+    h.u64(options.seed);
+    keys.tour = h.digest();
+  }
+  {
+    store::Hasher h;
+    h.str("simcov.key.symstats.v1");
+    h.fp(circuit_fp);
+    h.u8(static_cast<std::uint8_t>(backend));
+    h.boolean(options.collect_symbolic_stats);
+    keys.symbolic = h.digest();
+  }
+  {
+    store::Hasher h;
+    h.str("simcov.key.checkpoint.v1");
+    h.fp(keys.tour);
+    h.u64(options.max_cycles);
+    keys.checkpoint = h.digest();
+  }
+  {
+    store::Hasher h;
+    h.str("simcov.key.report.v1");
+    h.fp(keys.checkpoint);
+    h.u64(bugs.size());
+    for (const dlx::PipelineBug bug : bugs) {
+      h.u8(static_cast<std::uint8_t>(bug));
+    }
+    keys.report = h.digest();
+  }
+  return keys;
+}
+
+}  // namespace simcov::pipeline

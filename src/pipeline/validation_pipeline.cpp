@@ -1,10 +1,14 @@
 #include "pipeline/validation_pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "pipeline/stages.hpp"
+#include "pipeline/store_keys.hpp"
 #include "runtime/thread_pool.hpp"
+#include "store/codec.hpp"
+#include "store/tour_cache.hpp"
 #include "validate/harness.hpp"
 
 namespace simcov::pipeline {
@@ -23,6 +27,19 @@ bool items_exhausted(const StageBudget& budget, std::size_t items) {
   return budget.max_items.has_value() && items >= *budget.max_items;
 }
 
+/// Serializes the committed clean-run prefix into a checkpoint payload.
+std::vector<std::uint8_t> checkpoint_payload(
+    const std::vector<RunMetrics>& clean_runs) {
+  store::CampaignCheckpoint ckpt;
+  ckpt.clean_runs.reserve(clean_runs.size());
+  for (const RunMetrics& r : clean_runs) {
+    ckpt.clean_runs.push_back(store::CheckpointRun{
+        r.sequence, r.impl_cycles, r.checkpoints, r.passed,
+        r.budget_exhausted});
+  }
+  return store::to_payload(ckpt);
+}
+
 }  // namespace
 
 CampaignResult ValidationPipeline::run(
@@ -35,11 +52,43 @@ CampaignResult ValidationPipeline::run(
 
   CampaignResult result;
   auto build = ModelBuildStage::run(options_, sink, result);
-  SymbolicSnapshotStage::run(options_, *build.built, *build.model, sink,
-                             result);
 
-  auto stream =
-      TourStage::open(options_, *build.model, build.explicit_model, sink);
+  // The artifact store (optional): caches tours and symbolic snapshots
+  // across campaigns, and checkpoints this campaign's committed prefix.
+  std::unique_ptr<store::ArtifactStore> store;
+  CampaignStoreKeys keys;
+  if (!options_.store_dir.empty()) {
+    store = std::make_unique<store::ArtifactStore>(
+        store::StoreOptions{options_.store_dir, options_.store_max_bytes});
+    keys = campaign_store_keys(options_, build.built->circuit,
+                               result.backend, bugs);
+    result.report_key = keys.report;
+  }
+
+  SymbolicSnapshotStage::run(options_, *build.built, *build.model, sink,
+                             result, store.get(), keys.symbolic);
+
+  auto stream = TourStage::open(options_, *build.model, build.explicit_model,
+                                sink, store.get(), keys.tour);
+
+  // Resume: restore the checkpointed prefix of a previously killed campaign
+  // with this key. The sequences themselves are re-pulled from the
+  // deterministic stream and re-concretized below (cheap, and it advances
+  // the stream's coverage tracker exactly as the original run did); only
+  // their simulation verdicts are restored instead of re-run.
+  std::vector<store::CheckpointRun> restore;
+  std::size_t restored_used = 0;
+  if (store != nullptr && options_.resume) {
+    if (auto payload = store->load(store::ArtifactKind::kCheckpoint,
+                                   keys.checkpoint, obs::Stage::kSimulate,
+                                   sink)) {
+      try {
+        restore = store::checkpoint_from_payload(*payload).clean_runs;
+      } catch (const store::CodecError&) {
+        restore.clear();  // undecodable checkpoint: full re-run
+      }
+    }
+  }
 
   // One worker pool for every sharded loop below. Each loop writes into
   // pre-sized per-index slots, so the outcome is independent of scheduling.
@@ -55,6 +104,7 @@ CampaignResult ValidationPipeline::run(
   bool stream_done = false;
   std::size_t yielded = 0;        // sequences pulled from the stream
   std::size_t in_flight_peak = 0;
+  std::size_t last_checkpoint = 0;  // clean runs covered by a checkpoint
 
   while (!stream_done) {
     // Budgets and cancellation truncate at batch boundaries only, so a
@@ -82,11 +132,17 @@ CampaignResult ValidationPipeline::run(
       break;
     }
 
+    // While restoring from a checkpoint, cap the pull so a batch never
+    // straddles the restored/live boundary.
+    const std::size_t restore_remaining = restore.size() - restored_used;
+    const std::size_t pull_cap =
+        restore_remaining > 0 ? std::min(window, restore_remaining) : window;
+
     // Pull one window of sequences from the tour stream.
     std::vector<std::vector<std::vector<bool>>> batch;
     {
       obs::ScopedSpan span(sink, obs::Stage::kTour);
-      while (batch.size() < window &&
+      while (batch.size() < pull_cap &&
              !items_exhausted(options_.budgets.tour,
                               yielded + batch.size())) {
         auto seq = stream->next_sequence();
@@ -120,13 +176,26 @@ CampaignResult ValidationPipeline::run(
                 batch_programs[i].instructions.size());
     }
 
-    // Clean runs: the bug-free implementation must pass everything.
+    // Clean runs: the bug-free implementation must pass everything. A
+    // restored batch skips the simulations — its verdicts come from the
+    // checkpoint (recorded under identical options, so they are exactly
+    // what re-simulation would produce).
     std::vector<RunMetrics> batch_runs(batch.size());
-    SimulateStage::run_batch(batch_programs, first, options_.max_cycles,
-                             batch_runs, pool, cancel, sink);
-    if (cancel.cancelled()) {
-      simulate_status = obs::StageStatus::kCancelled;
-      break;
+    const bool batch_restored = restore_remaining > 0;
+    if (batch_restored) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const store::CheckpointRun& r = restore[restored_used + i];
+        batch_runs[i] = RunMetrics{first + i, r.impl_cycles, r.checkpoints,
+                                   r.passed, r.budget_exhausted};
+      }
+      restored_used += batch.size();
+    } else {
+      SimulateStage::run_batch(batch_programs, first, options_.max_cycles,
+                               batch_runs, pool, cancel, sink);
+      if (cancel.cancelled()) {
+        simulate_status = obs::StageStatus::kCancelled;
+        break;
+      }
     }
 
     // The batch survived both pools: commit it. The raw tour sequences die
@@ -140,7 +209,22 @@ CampaignResult ValidationPipeline::run(
       result.clean_runs.push_back(batch_runs[i]);
       programs.push_back(std::move(batch_programs[i]));
     }
+
+    // Periodic checkpoint of the committed prefix. Restored batches only
+    // advance the checkpoint cursor — their prefix is already on disk.
+    if (batch_restored) {
+      last_checkpoint = result.clean_runs.size();
+    } else if (store != nullptr && options_.checkpoint_every > 0 &&
+               result.clean_runs.size() - last_checkpoint >=
+                   options_.checkpoint_every) {
+      obs::ScopedSpan span(sink, obs::Stage::kSimulate);
+      store->publish(store::ArtifactKind::kCheckpoint, keys.checkpoint,
+                     checkpoint_payload(result.clean_runs),
+                     obs::Stage::kSimulate, sink);
+      last_checkpoint = result.clean_runs.size();
+    }
   }
+  if (store != nullptr) store->add_resumed_sequences(restored_used);
 
   sink.counter(obs::Stage::kTour, "sequences_in_flight_peak", in_flight_peak);
   {
@@ -156,6 +240,31 @@ CampaignResult ValidationPipeline::run(
   sink.status(obs::Stage::kTour, tour_status);
   sink.status(obs::Stage::kConcretize, concretize_status);
   sink.status(obs::Stage::kSimulate, simulate_status);
+
+  const bool stream_complete = stream_done &&
+                               tour_status == obs::StageStatus::kOk &&
+                               concretize_status == obs::StageStatus::kOk &&
+                               simulate_status == obs::StageStatus::kOk;
+  if (store != nullptr) {
+    if (stream_complete) {
+      // The tour ran to completion: publish it if this run generated it
+      // live (a stored tour came from the store in the first place).
+      if (auto* rec =
+              dynamic_cast<store::RecordingTourStream*>(stream.get())) {
+        obs::ScopedSpan span(sink, obs::Stage::kTour);
+        store->publish(store::ArtifactKind::kTour, keys.tour,
+                       rec->artifact(), obs::Stage::kTour, sink);
+      }
+    } else if (options_.checkpoint_every > 0 &&
+               result.clean_runs.size() > last_checkpoint) {
+      // Truncated / cancelled: flush a final checkpoint so a resume loses
+      // none of the committed prefix.
+      obs::ScopedSpan span(sink, obs::Stage::kSimulate);
+      store->publish(store::ArtifactKind::kCheckpoint, keys.checkpoint,
+                     checkpoint_payload(result.clean_runs),
+                     obs::Stage::kSimulate, sink);
+    }
+  }
 
   // Per-bug exposure runs over whatever test set was produced — a
   // budget-truncated set still yields meaningful (if inconclusive)
@@ -189,6 +298,12 @@ CampaignResult ValidationPipeline::run(
   }
   sink.status(obs::Stage::kCompare, compare_status);
 
+  // A campaign that ran to completion no longer needs its checkpoint.
+  if (store != nullptr && stream_complete &&
+      compare_status == obs::StageStatus::kOk) {
+    store->erase(store::ArtifactKind::kCheckpoint, keys.checkpoint);
+  }
+
   for (const auto& r : result.clean_runs) {
     if (r.budget_exhausted) ++result.runs_inconclusive;
   }
@@ -197,6 +312,7 @@ CampaignResult ValidationPipeline::run(
   }
 
   result.timings = timings_from_spans(recorder);
+  if (store != nullptr) result.store_stats = store->stats();
   const bool symbolic_ran =
       options_.collect_symbolic_stats ||
       result.backend == model::Backend::kSymbolic;

@@ -1,0 +1,218 @@
+#include "store/codec.hpp"
+
+#include <bit>
+
+namespace simcov::store {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + n);
+}
+
+std::uint8_t ByteReader::u8() {
+  if (at_ >= data_.size()) {
+    throw CodecError("codec: read past end of payload");
+  }
+  return data_[at_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  const auto p = raw(4);
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const auto p = raw(8);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  if (n > data_.size() - at_ || at_ > data_.size()) {
+    throw CodecError("codec: read past end of payload");
+  }
+  const auto out = data_.subspan(at_, n);
+  at_ += n;
+  return out;
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) {
+    throw CodecError("codec: trailing bytes after payload");
+  }
+}
+
+void encode_sequence(ByteWriter& w,
+                     const std::vector<std::vector<bool>>& sequence,
+                     unsigned input_bits) {
+  const std::size_t bytes_per_step = (input_bits + 7) / 8;
+  w.u64(sequence.size());
+  for (const auto& step : sequence) {
+    if (step.size() != input_bits) {
+      throw CodecError("codec: step width disagrees with model input width");
+    }
+    std::size_t bit = 0;
+    for (std::size_t byte = 0; byte < bytes_per_step; ++byte) {
+      std::uint8_t packed = 0;
+      for (unsigned j = 0; j < 8 && bit < step.size(); ++j, ++bit) {
+        if (step[bit]) packed |= static_cast<std::uint8_t>(1u << j);
+      }
+      w.u8(packed);
+    }
+  }
+}
+
+std::vector<std::vector<bool>> decode_sequence(ByteReader& r,
+                                               unsigned input_bits) {
+  const std::size_t bytes_per_step = (input_bits + 7) / 8;
+  const std::uint64_t steps = r.u64();
+  std::vector<std::vector<bool>> out;
+  out.reserve(steps);
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const auto packed = r.raw(bytes_per_step);
+    std::vector<bool> step(input_bits, false);
+    for (unsigned bit = 0; bit < input_bits; ++bit) {
+      step[bit] = (packed[bit / 8] >> (bit % 8)) & 1u;
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+void encode_tour_summary(ByteWriter& w, const model::TourResult& summary) {
+  w.f64(summary.coverage.states_visited);
+  w.f64(summary.coverage.states_total);
+  w.f64(summary.coverage.transitions_covered);
+  w.f64(summary.coverage.transitions_total);
+  w.u64(summary.steps);
+  w.u64(summary.restarts);
+  w.boolean(summary.complete);
+}
+
+model::TourResult decode_tour_summary(ByteReader& r) {
+  model::TourResult out;
+  out.coverage.states_visited = r.f64();
+  out.coverage.states_total = r.f64();
+  out.coverage.transitions_covered = r.f64();
+  out.coverage.transitions_total = r.f64();
+  out.steps = r.u64();
+  out.restarts = r.u64();
+  out.complete = r.boolean();
+  return out;
+}
+
+void encode_symbolic_snapshot(ByteWriter& w, const SymbolicSnapshot& snap) {
+  w.u32(snap.fsm.num_latches);
+  w.u32(snap.fsm.num_primary_inputs);
+  w.u32(snap.fsm.num_outputs);
+  w.u64(snap.fsm.transition_relation_nodes);
+  w.u32(snap.fsm.reachability_iterations);
+  w.f64(snap.fsm.reachable_states);
+  w.f64(snap.fsm.transitions);
+  w.f64(snap.fsm.valid_input_combinations);
+  w.u64(snap.bdd.allocated_nodes);
+  w.u64(snap.bdd.live_nodes);
+  w.u64(snap.bdd.free_nodes);
+  w.u64(snap.bdd.unique_lookups);
+  w.u64(snap.bdd.unique_hits);
+  w.u64(snap.bdd.cache_lookups);
+  w.u64(snap.bdd.cache_hits);
+  w.u64(snap.bdd.gc_runs);
+}
+
+SymbolicSnapshot decode_symbolic_snapshot(ByteReader& r) {
+  SymbolicSnapshot snap;
+  snap.fsm.num_latches = r.u32();
+  snap.fsm.num_primary_inputs = r.u32();
+  snap.fsm.num_outputs = r.u32();
+  snap.fsm.transition_relation_nodes = r.u64();
+  snap.fsm.reachability_iterations = r.u32();
+  snap.fsm.reachable_states = r.f64();
+  snap.fsm.transitions = r.f64();
+  snap.fsm.valid_input_combinations = r.f64();
+  snap.bdd.allocated_nodes = r.u64();
+  snap.bdd.live_nodes = r.u64();
+  snap.bdd.free_nodes = r.u64();
+  snap.bdd.unique_lookups = r.u64();
+  snap.bdd.unique_hits = r.u64();
+  snap.bdd.cache_lookups = r.u64();
+  snap.bdd.cache_hits = r.u64();
+  snap.bdd.gc_runs = r.u64();
+  return snap;
+}
+
+void encode_checkpoint(ByteWriter& w, const CampaignCheckpoint& ckpt) {
+  w.u64(ckpt.clean_runs.size());
+  for (const CheckpointRun& run : ckpt.clean_runs) {
+    w.u64(run.sequence);
+    w.u64(run.impl_cycles);
+    w.u64(run.checkpoints);
+    w.boolean(run.passed);
+    w.boolean(run.budget_exhausted);
+  }
+}
+
+std::vector<std::uint8_t> to_payload(const SymbolicSnapshot& snap) {
+  ByteWriter w;
+  encode_symbolic_snapshot(w, snap);
+  return w.take();
+}
+
+SymbolicSnapshot snapshot_from_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  SymbolicSnapshot snap = decode_symbolic_snapshot(r);
+  r.expect_done();
+  return snap;
+}
+
+CampaignCheckpoint decode_checkpoint(ByteReader& r) {
+  CampaignCheckpoint ckpt;
+  const std::uint64_t count = r.u64();
+  ckpt.clean_runs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CheckpointRun run;
+    run.sequence = r.u64();
+    run.impl_cycles = r.u64();
+    run.checkpoints = r.u64();
+    run.passed = r.boolean();
+    run.budget_exhausted = r.boolean();
+    ckpt.clean_runs.push_back(run);
+  }
+  return ckpt;
+}
+
+std::vector<std::uint8_t> to_payload(const CampaignCheckpoint& ckpt) {
+  ByteWriter w;
+  encode_checkpoint(w, ckpt);
+  return w.take();
+}
+
+CampaignCheckpoint checkpoint_from_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  CampaignCheckpoint ckpt = decode_checkpoint(r);
+  r.expect_done();
+  return ckpt;
+}
+
+}  // namespace simcov::store

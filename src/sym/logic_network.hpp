@@ -58,6 +58,19 @@ class LogicNetwork {
     return input_names_[k];
   }
 
+  /// Read-only view of one gate, for structural hashing / serialization of
+  /// circuits (store::fingerprint_circuit). Operand meaning follows GateOp;
+  /// unused operands are 0.
+  struct GateView {
+    GateOp op;
+    SignalId a, b, c;
+  };
+  [[nodiscard]] GateView gate(SignalId s) const {
+    check(s);
+    const Gate& g = gates_[s];
+    return GateView{g.op, g.a, g.b, g.c};
+  }
+
   /// Concrete evaluation: values for every signal given input values in
   /// the order the inputs were created.
   [[nodiscard]] std::vector<bool> eval(

@@ -353,24 +353,6 @@ TEST(CampaignBackend, SymbolicCampaignBitIdenticalAcrossThreads) {
   }
 }
 
-TEST(MutantCoverage, ExplicitModelOverloadMatchesMachineOverload) {
-  const auto machine = fsm::random_connected_machine(10, 2, 4, 3);
-  MutantCoverageOptions options;
-  options.method = TestMethod::kTransitionTourSet;
-  options.mutant_sample = 50;
-  // The machine-taking overload is the deprecated compatibility shim; this
-  // equivalence test is its one sanctioned caller.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_machine = evaluate_mutant_coverage(machine, 0, options);
-#pragma GCC diagnostic pop
-  const model::ExplicitModel adapter(machine, 0);
-  const auto via_model = evaluate_mutant_coverage(adapter, options);
-  EXPECT_EQ(via_machine.mutants, via_model.mutants);
-  EXPECT_EQ(via_machine.exposed, via_model.exposed);
-  EXPECT_EQ(via_machine.test_length, via_model.test_length);
-}
-
 TEST(ParallelCampaign, BitIdenticalAtAnyThreadCount) {
   CampaignOptions options;
   options.model_options = tiny_model_options();

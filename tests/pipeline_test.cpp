@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -21,6 +24,7 @@
 #include "fsm/mealy.hpp"
 #include "model/explicit_model.hpp"
 #include "obs/event_sink.hpp"
+#include "store/artifact_store.hpp"
 #include "tour/tour.hpp"
 
 namespace simcov {
@@ -52,11 +56,14 @@ const std::vector<dlx::PipelineBug> kThreeBugs{
     dlx::PipelineBug::kNoSquashOnTakenBranch,
 };
 
-/// The campaign outcome with wall-clock timings erased.
+/// The campaign outcome with wall-clock timings and store activity erased
+/// (cache hit/miss counts legitimately differ between semantically
+/// identical cold, warm and resumed runs).
 std::string semantic_fingerprint(core::CampaignResult result) {
   result.timings = {};
   result.bdd_stats.reset();
   result.symbolic_stats.reset();
+  result.store_stats.reset();
   return core::to_json(result);
 }
 
@@ -386,6 +393,152 @@ TEST(PipelineGolden, ExplicitTourMatchesPreRefactorEngine) {
     EXPECT_EQ(semantic_fingerprint(result), kGoldenExplicitTour)
         << "threads=" << threads;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact store integration: warm reuse, report archival, checkpoint/resume
+// ---------------------------------------------------------------------------
+
+/// A fresh store directory under the system temp dir, wiped on both ends of
+/// the test.
+class PipelineStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("simcov_pipeline_store_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::size_t checkpoint_files() const {
+    std::size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().filename().string().rfind("checkpoint-", 0) == 0) ++n;
+    }
+    return n;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PipelineStoreTest, WarmRunSkipsTourGenerationAndIsByteIdentical) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.store_dir = dir_.string();
+
+  const auto cold = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(cold.store_stats.has_value());
+  EXPECT_EQ(cold.store_stats->hits, 0u);
+  EXPECT_GT(cold.store_stats->misses, 0u);
+
+  const auto warm = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(warm.store_stats.has_value());
+  EXPECT_GT(warm.store_stats->hits, 0u);
+  EXPECT_EQ(warm.store_stats->misses, 0u)
+      << "the warm run recomputed something the cold run published";
+  EXPECT_EQ(semantic_fingerprint(warm), semantic_fingerprint(cold));
+}
+
+TEST_F(PipelineStoreTest, CompletedCampaignArchivesItsReport) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.store_dir = dir_.string();
+  const auto result = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(result.report_key.has_value());
+
+  store::ArtifactStore store(store::StoreOptions{dir_, 0});
+  const auto payload = store.load(store::ArtifactKind::kReport,
+                                  *result.report_key, obs::Stage::kCompare,
+                                  obs::null_sink());
+  ASSERT_TRUE(payload.has_value());
+  const std::string archived(payload->begin(), payload->end());
+  EXPECT_EQ(archived, core::to_json(result));
+  // The campaign ran to completion, so no checkpoint survives it.
+  EXPECT_EQ(checkpoint_files(), 0u);
+}
+
+TEST_F(PipelineStoreTest, TourBudgetBypassesTheTourCache) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.store_dir = dir_.string();
+  options.budgets.tour.max_items = 2;  // truncated tour != the keyed tour
+  const auto first = core::run_campaign(options, kThreeBugs);
+  const auto second = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(second.store_stats.has_value());
+  EXPECT_EQ(second.store_stats->hits + second.store_stats->misses, 0u)
+      << "a budget-truncated tour must never be cached or served";
+  EXPECT_EQ(semantic_fingerprint(second), semantic_fingerprint(first));
+}
+
+/// Cancels the campaign after `after` committed clean runs — a
+/// deterministic stand-in for killing the process mid-stream.
+class KillAfterRuns final : public obs::EventSink {
+ public:
+  KillAfterRuns(core::CancellationToken token, std::size_t after)
+      : token_(std::move(token)), after_(after) {}
+
+  void item(obs::Stage stage, std::string_view kind, std::uint64_t,
+            std::uint64_t) override {
+    if (stage == obs::Stage::kSimulate && kind == "clean_run" &&
+        seen_.fetch_add(1) + 1 >= after_) {
+      token_.cancel();
+    }
+  }
+
+ private:
+  core::CancellationToken token_;
+  std::size_t after_;
+  std::atomic<std::size_t> seen_{0};
+};
+
+TEST_F(PipelineStoreTest, KilledCampaignResumesIdenticallyAcrossThreads) {
+  // Reference: the uninterrupted run (no store involved at all).
+  core::CampaignOptions base = tour_campaign_options();
+  base.checkpoint_every = 2;
+  const std::string reference =
+      semantic_fingerprint(core::run_campaign(base, kThreeBugs));
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto dir = dir_ / ("t" + std::to_string(threads));
+
+    // Copied CampaignOptions share one cancellation flag; each run needs
+    // its own token so the kill only hits the run it targets.
+    core::CampaignOptions kopt = base;
+    kopt.cancel = core::CancellationToken{};
+    kopt.threads = threads;
+    kopt.store_dir = dir.string();
+    KillAfterRuns killer(kopt.cancel, 3);
+    kopt.sink = &killer;
+    const auto killed = core::run_campaign(kopt, kThreeBugs);
+    EXPECT_TRUE(killed.cancelled()) << "threads=" << threads;
+    EXPECT_NE(semantic_fingerprint(killed), reference);
+
+    core::CampaignOptions ropt = base;
+    ropt.cancel = core::CancellationToken{};
+    ropt.threads = threads;
+    ropt.store_dir = dir.string();
+    ropt.resume = true;
+    const auto resumed = core::run_campaign(ropt, kThreeBugs);
+    ASSERT_TRUE(resumed.store_stats.has_value());
+    EXPECT_GT(resumed.store_stats->resumed_sequences, 0u)
+        << "threads=" << threads;
+    EXPECT_EQ(semantic_fingerprint(resumed), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(PipelineStoreTest, ResumeWithoutACheckpointIsACleanColdRun) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.store_dir = dir_.string();
+  options.resume = true;  // nothing to resume from yet
+  const auto result = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(result.store_stats.has_value());
+  EXPECT_EQ(result.store_stats->resumed_sequences, 0u);
+
+  core::CampaignOptions plain = tour_campaign_options();
+  EXPECT_EQ(semantic_fingerprint(result),
+            semantic_fingerprint(core::run_campaign(plain, kThreeBugs)));
 }
 
 TEST(PipelineGolden, RandomWalkMatchesPreRefactorEngine) {

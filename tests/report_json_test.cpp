@@ -113,6 +113,45 @@ TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
   EXPECT_EQ(w.str(), "{\"text\":\"say \\\"hi\\\" and C:\\\\path\"}");
 }
 
+TEST(JsonWriterTest, EscapesNewlinesAndTabs) {
+  // Regression: control characters used to pass through raw, producing
+  // invalid JSON documents for any value containing a newline.
+  core::JsonWriter w;
+  w.begin_object().field("text", "line1\nline2\tend\r").end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"line1\\nline2\\tend\\r\"}");
+}
+
+TEST(JsonWriterTest, EscapesLowControlCharactersAsUnicode) {
+  // Characters below 0x20 without a short escape become \u00XX — including
+  // NUL and the bytes right next to it. Built char-by-char: hex escapes in
+  // a literal would greedily swallow the following letters.
+  const std::string value{'a', '\0', 'b', '\x01', 'c', '\x1f', 'd'};
+  core::JsonWriter w;
+  w.begin_object().field("text", value).end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"a\\u0000b\\u0001c\\u001fd\"}");
+}
+
+TEST(JsonWriterTest, ShortEscapesForBackspaceAndFormFeed) {
+  core::JsonWriter w;
+  w.begin_object().field("text", "\b\f").end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"\\b\\f\"}");
+}
+
+TEST(JsonWriterTest, HighBytesPassThroughUnchanged) {
+  // Bytes >= 0x20 (including UTF-8 continuation bytes) are emitted as-is.
+  core::JsonWriter w;
+  w.begin_object().field("text", "caf\xc3\xa9").end_object();
+  EXPECT_EQ(w.str(), "{\"text\":\"caf\xc3\xa9\"}");
+}
+
+TEST(JsonWriterTest, ElementStringsAreEscapedToo) {
+  core::JsonWriter w;
+  w.begin_object().begin_array("items");
+  w.element("tab\there");
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), "{\"items\":[\"tab\\there\"]}");
+}
+
 TEST(JsonWriterTest, RawFieldEmbedsDocumentVerbatim) {
   core::JsonWriter inner;
   inner.begin_object().field("a", 1).end_object();
