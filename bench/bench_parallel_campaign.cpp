@@ -45,6 +45,8 @@ simcov::testmodel::TestModelOptions tour_model_options() {
 std::string semantic_fingerprint(simcov::core::CampaignResult result) {
   result.timings = {};
   result.store_stats.reset();
+  result.metrics.reset();  // wall-clock; coverage_telemetry stays — it is
+                           // deterministic and part of the identity check
   return simcov::core::to_json(result);
 }
 
@@ -85,9 +87,10 @@ int main(int argc, char** argv) {
   core::CampaignOptions base;
   base.model_options = tour_model_options();
   base.method = core::TestMethod::kTransitionTourSet;
-  base.sink = bench::trace();
+  base.sink = bench::sink();
   base.store_dir = bench::store_dir();
   base.resume = bench::resume();
+  base.collect_coverage_telemetry = true;
 
   bench::header("Parallel campaign engine: DLX bug-exposure campaign");
   bench::row("hardware threads",
@@ -138,7 +141,7 @@ int main(int argc, char** argv) {
   mc.k_extension = 5;
   mc.exclude_equivalent = true;
   mc.threads = 1;
-  mc.sink = bench::trace();
+  mc.sink = bench::sink();
   bench::Timer mc_serial_timer;
   const auto mc_serial = core::evaluate_mutant_coverage(em, mc);
   const double mc_serial_seconds = mc_serial_timer.seconds();

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     mc.method = core::TestMethod::kTransitionTourSet;
     mc.mutant_sample = 300;
     mc.k_extension = 5;
-    mc.sink = bench::trace();
+    mc.sink = bench::sink();
     const auto r =
         core::evaluate_mutant_coverage(model::ExplicitModel(em.machine, 0), mc);
     std::printf("  %-26s %10u %10zu %6zu/%-5zu %9.1f%%\n",

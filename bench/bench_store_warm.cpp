@@ -48,6 +48,8 @@ simcov::testmodel::TestModelOptions tour_model_options() {
 std::string semantic_fingerprint(simcov::core::CampaignResult result) {
   result.timings = {};
   result.store_stats.reset();
+  result.metrics.reset();  // wall-clock; coverage_telemetry stays — resumed
+                           // runs must reproduce it bit-identically
   return simcov::core::to_json(result);
 }
 
@@ -96,13 +98,14 @@ int main(int argc, char** argv) {
   base.model_options = tour_model_options();
   base.method = core::TestMethod::kTransitionTourSet;
   base.checkpoint_every = 4;
+  base.collect_coverage_telemetry = true;
 
   bool ok = true;
 
   bench::header("Artifact store: cold vs warm campaign");
   core::CampaignOptions cold = base;
   cold.store_dir = store_root + "/warm";
-  cold.sink = bench::trace();
+  cold.sink = bench::sink();
   bench::Timer cold_timer;
   const auto cold_result = core::run_campaign(cold, bugs);
   const double cold_seconds = cold_timer.seconds();
@@ -159,7 +162,7 @@ int main(int argc, char** argv) {
     ropt.threads = threads;
     ropt.store_dir = dir;
     ropt.resume = true;
-    ropt.sink = bench::trace();
+    ropt.sink = bench::sink();
     const auto resumed = core::run_campaign(ropt, bugs);
 
     const bool identical = semantic_fingerprint(resumed) == reference;

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   base.mutant_sample = 300;
   base.k_extension = 5;
   base.exclude_equivalent = true;  // fair denominator: real errors only
-  base.sink = bench::trace();
+  base.sink = bench::sink();
   std::size_t tour_len = 0;
   for (const TestMethod method :
        {TestMethod::kTransitionTourSet, TestMethod::kStateTour,
@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
     opt.model_options = tour_model_options();
     opt.method = method;
     opt.random_length = 200;  // a typical short random-simulation budget
-    opt.sink = bench::trace();
+    opt.sink = bench::sink();
     results.push_back(core::run_campaign(opt, bugs));
   }
   for (std::size_t b = 0; b < bugs.size(); ++b) {

@@ -7,9 +7,12 @@
 // one machine-readable JSON document (core/json.hpp emitter). Benches can
 // also splice full core::to_json reports in via attach_json().
 //
-// `--trace <path>` opens an obs::JsonlTraceSink; benches pass trace() as
-// CampaignOptions::sink so every pipeline span / counter / item / status
-// event streams to the file as JSON Lines.
+// `--trace <path>` opens an obs::JsonlTraceSink, `--perfetto <path>` an
+// obs::PerfettoTraceSink (Chrome trace-event JSON, loadable in
+// ui.perfetto.dev), and `--metrics <path>` an obs::MetricsRegistry whose
+// Prometheus text dump finish() writes to the path. Benches pass sink() —
+// the fan-out over whichever of the three were requested — as
+// CampaignOptions::sink.
 //
 // `--store <dir>` and `--resume` expose the artifact store: benches pass
 // store_dir() / resume() into CampaignOptions so repeated invocations
@@ -28,6 +31,8 @@
 
 #include "core/json.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
 
 namespace simcov::bench {
 
@@ -48,6 +53,15 @@ struct Recorder {
   std::vector<std::pair<std::string, std::string>> attachments;
   /// Open when --trace was given; campaigns stream pipeline events here.
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  /// Open when --perfetto was given; Chrome trace-event JSON.
+  std::unique_ptr<obs::PerfettoTraceSink> perfetto_sink;
+  /// Allocated when --metrics was given; finish() writes the Prometheus
+  /// text dump to metrics_path.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::string metrics_path;
+  /// Lazy fan-out over the requested sinks (see bench::sink()).
+  obs::MultiSink combined;
+  bool combined_ready = false;
 
   static Recorder& instance() {
     static Recorder recorder;
@@ -63,8 +77,8 @@ struct Recorder {
 }  // namespace detail
 
 /// Parses bench command-line flags (`--json <path>`, `--trace <path>`,
-/// `--store <dir>`, `--resume`). Exits with status 2 on anything
-/// unrecognized or an unopenable trace.
+/// `--perfetto <path>`, `--metrics <path>`, `--store <dir>`, `--resume`).
+/// Exits with status 2 on anything unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
   if (argc > 0 && argv[0] != nullptr) {
@@ -83,6 +97,16 @@ inline void init(int argc, char** argv) {
         std::fprintf(stderr, "%s: %s\n", rec.binary.c_str(), e.what());
         std::exit(2);
       }
+    } else if (arg == "--perfetto" && i + 1 < argc) {
+      try {
+        rec.perfetto_sink = std::make_unique<obs::PerfettoTraceSink>(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", rec.binary.c_str(), e.what());
+        std::exit(2);
+      }
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      rec.metrics_path = argv[++i];
+      rec.metrics = std::make_unique<obs::MetricsRegistry>();
     } else if (arg == "--store" && i + 1 < argc) {
       rec.store_dir = argv[++i];
     } else if (arg == "--resume") {
@@ -90,6 +114,7 @@ inline void init(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--trace <path>] "
+                   "[--perfetto <path>] [--metrics <path>] "
                    "[--store <dir>] [--resume]\n",
                    rec.binary.c_str());
       std::exit(2);
@@ -101,6 +126,25 @@ inline void init(int argc, char** argv) {
 /// CampaignOptions::sink / MutantCoverageOptions::sink.
 [[nodiscard]] inline obs::EventSink* trace() {
   return detail::Recorder::instance().trace_sink.get();
+}
+
+/// Fan-out over every requested observability sink (--trace JSONL,
+/// --perfetto trace-event JSON, --metrics registry), or nullptr when none
+/// was requested — THE sink benches should pass as CampaignOptions::sink /
+/// MutantCoverageOptions::sink.
+[[nodiscard]] inline obs::EventSink* sink() {
+  auto& rec = detail::Recorder::instance();
+  if (!rec.combined_ready) {
+    rec.combined.add(rec.trace_sink.get());
+    rec.combined.add(rec.perfetto_sink.get());
+    rec.combined.add(rec.metrics.get());
+    rec.combined_ready = true;
+  }
+  if (rec.trace_sink == nullptr && rec.perfetto_sink == nullptr &&
+      rec.metrics == nullptr) {
+    return nullptr;
+  }
+  return &rec.combined;
 }
 
 /// The --store directory (empty when the flag was not given) — plugs into
@@ -148,6 +192,15 @@ inline void attach_json(const std::string& key, std::string raw_json) {
 /// a clean exit into a failing one.
 inline int finish(int code = 0) {
   const auto& rec = detail::Recorder::instance();
+  if (!rec.metrics_path.empty() && rec.metrics != nullptr) {
+    std::ofstream mout(rec.metrics_path);
+    mout << obs::write_prometheus_text(*rec.metrics);
+    if (!mout) {
+      std::fprintf(stderr, "%s: failed to write %s\n", rec.binary.c_str(),
+                   rec.metrics_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
   if (rec.json_path.empty()) return code;
   core::JsonWriter w;
   w.begin_object()

@@ -101,6 +101,15 @@ class JsonWriter {
     write_string(value);
     return *this;
   }
+  /// Unnamed integral value (array element).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& element(T value) {
+    sep();
+    os_ << static_cast<std::uint64_t>(value);
+    return *this;
+  }
 
   [[nodiscard]] std::string str() const { return os_.str(); }
 

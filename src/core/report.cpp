@@ -133,6 +133,87 @@ void emit_timings(JsonWriter& w, const PhaseTimings& t) {
       .end_object();
 }
 
+/// The "metrics" section: histogram summaries plus flat counters/gauges.
+/// Wall-clock derived — consumers needing determinism erase it, exactly
+/// like "timings". Bucket arrays stay out of the report (the Prometheus
+/// export carries them); the summary quantiles are what a human reads.
+void emit_metrics(JsonWriter& w, const obs::MetricsSummary& m) {
+  w.begin_object("metrics");
+  w.begin_array("counters");
+  for (const auto& c : m.counters) {
+    w.element_object()
+        .field("stage", obs::stage_name(c.stage))
+        .field("name", c.name)
+        .field("value", c.value)
+        .end_object();
+  }
+  w.end_array();
+  w.begin_array("gauges");
+  for (const auto& g : m.gauges) {
+    w.element_object()
+        .field("stage", obs::stage_name(g.stage))
+        .field("name", g.name)
+        .field("value", g.value)
+        .end_object();
+  }
+  w.end_array();
+  w.begin_array("histograms");
+  for (const auto& h : m.histograms) {
+    w.element_object()
+        .field("stage", obs::stage_name(h.stage))
+        .field("name", h.name)
+        .field("count", h.value.count)
+        .field("sum", h.value.sum)
+        .field("p50", h.value.p50)
+        .field("p90", h.value.p90)
+        .field("p99", h.value.p99)
+        .field("max", h.value.max)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// The "coverage_telemetry" section. Every value is an exact integer (the
+/// JsonWriter prints doubles at 6 significant digits — integers round-trip,
+/// which the bit-identity contract depends on).
+void emit_coverage_telemetry(JsonWriter& w, const obs::CoverageTelemetry& t) {
+  w.begin_object("coverage_telemetry");
+  w.field("curve_budget", t.curve_budget);
+  w.begin_array("convergence");
+  for (const auto& p : t.convergence) {
+    w.element_object()
+        .field("sequence", p.sequence)
+        .field("states_visited", p.states_visited)
+        .field("transitions_covered", p.transitions_covered)
+        .end_object();
+  }
+  w.end_array();
+  w.begin_object("transition_hits")
+      .field("distinct", t.distinct_transitions)
+      .field("max_hits", t.max_transition_hits);
+  // Log2 hit-count buckets, trailing zeros trimmed (bucket i holds the
+  // transitions hit between 2^(i-1) and 2^i - 1 times).
+  std::size_t last = t.transition_hits.size();
+  while (last > 0 && t.transition_hits[last - 1] == 0) --last;
+  w.begin_array("histogram");
+  for (std::size_t i = 0; i < last; ++i) w.element(t.transition_hits[i]);
+  w.end_array();
+  w.end_object();
+  w.begin_array("bug_exposure_latency");
+  for (const auto& lat : t.bug_exposure_latency) {
+    w.element_object().field("exposed", lat.exposed);
+    if (lat.exposed) {
+      w.field("sequences", lat.sequences);
+    } else {
+      w.null_field("sequences");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 std::string to_json(const CampaignResult& result) {
@@ -219,6 +300,10 @@ std::string to_json(const CampaignResult& result) {
         .field("resumed_sequences", s.resumed_sequences)
         .end_object();
   }
+  if (result.metrics.has_value()) emit_metrics(w, *result.metrics);
+  if (result.coverage_telemetry.has_value()) {
+    emit_coverage_telemetry(w, *result.coverage_telemetry);
+  }
   w.end_object();
   return w.str();
 }
@@ -239,6 +324,10 @@ std::string to_json(TestMethod method, const MutantCoverageResult& result) {
   }
   w.field("sequences", result.sequences);
   w.field("test_length", result.test_length);
+  // Per exposed mutant, in sample order: 1-based first-exposing sequence.
+  w.begin_array("exposure_latency");
+  for (const std::uint64_t lat : result.exposure_latency) w.element(lat);
+  w.end_array();
   emit_timings(w, result.timings);
   w.end_object();
   return w.str();

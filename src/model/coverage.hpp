@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace simcov::model {
@@ -61,12 +62,21 @@ class CoverageTracker {
   void visit_state(std::uint64_t state) { states_.insert(state); }
 
   void cover_transition(std::uint64_t state, std::uint64_t input) {
-    transitions_.insert(TransitionKey{state, input});
+    ++transitions_[TransitionKey{state, input}];
   }
 
   [[nodiscard]] std::size_t states_visited() const { return states_.size(); }
   [[nodiscard]] std::size_t transitions_covered() const {
     return transitions_.size();
+  }
+
+  /// Calls `fn(hits)` once per distinct covered transition with how many
+  /// times the walk exercised it. Iteration order is unspecified — consumers
+  /// building tour-balance statistics (obs::coverage_telemetry) aggregate
+  /// into order-insensitive forms (histograms, max).
+  template <typename Fn>
+  void for_each_transition_hit(Fn&& fn) const {
+    for (const auto& [key, hits] : transitions_) fn(hits);
   }
 
   [[nodiscard]] CoverageStats stats() const {
@@ -99,7 +109,11 @@ class CoverageTracker {
   };
 
   std::unordered_set<std::uint64_t> states_;
-  std::unordered_set<TransitionKey, TransitionKeyHash> transitions_;
+  /// Distinct coverage *and* balance: the mapped value counts how many times
+  /// each transition was exercised, so the tour-balance histogram costs no
+  /// extra pass. size() still gives the distinct count the stats() use.
+  std::unordered_map<TransitionKey, std::uint64_t, TransitionKeyHash>
+      transitions_;
   CoverageStats totals_;
 };
 

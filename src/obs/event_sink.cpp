@@ -92,10 +92,28 @@ void CounterRecorder::counter(Stage stage, std::string_view name,
   }
 }
 
+void CounterRecorder::gauge(Stage stage, std::string_view name,
+                            std::uint64_t value) {
+  (void)stage;
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    if (value > it->second) it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
 std::uint64_t CounterRecorder::value(std::string_view name) const {
   std::lock_guard lock(mutex_);
   const auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t CounterRecorder::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
 }
 
 void MultiSink::counter(Stage stage, std::string_view name,
@@ -103,9 +121,19 @@ void MultiSink::counter(Stage stage, std::string_view name,
   for (EventSink* sink : sinks_) sink->counter(stage, name, value);
 }
 
+void MultiSink::gauge(Stage stage, std::string_view name,
+                      std::uint64_t value) {
+  for (EventSink* sink : sinks_) sink->gauge(stage, name, value);
+}
+
 void MultiSink::item(Stage stage, std::string_view kind, std::uint64_t id,
                      std::uint64_t value) {
   for (EventSink* sink : sinks_) sink->item(stage, kind, id, value);
+}
+
+void MultiSink::latency(Stage stage, std::string_view kind, std::uint64_t id,
+                        double seconds) {
+  for (EventSink* sink : sinks_) sink->latency(stage, kind, id, seconds);
 }
 
 void MultiSink::status(Stage stage, StageStatus status) {
@@ -164,6 +192,18 @@ void JsonlTraceSink::counter(Stage stage, std::string_view name,
   write_line(w.str());
 }
 
+void JsonlTraceSink::gauge(Stage stage, std::string_view name,
+                           std::uint64_t value) {
+  core::JsonWriter w;
+  w.begin_object()
+      .field("event", "gauge")
+      .field("stage", stage_name(stage))
+      .field("name", std::string(name))
+      .field("value", value)
+      .end_object();
+  write_line(w.str());
+}
+
 void JsonlTraceSink::item(Stage stage, std::string_view kind,
                           std::uint64_t id, std::uint64_t value) {
   core::JsonWriter w;
@@ -177,6 +217,19 @@ void JsonlTraceSink::item(Stage stage, std::string_view kind,
   write_line(w.str());
 }
 
+void JsonlTraceSink::latency(Stage stage, std::string_view kind,
+                             std::uint64_t id, double seconds) {
+  core::JsonWriter w;
+  w.begin_object()
+      .field("event", "latency")
+      .field("stage", stage_name(stage))
+      .field("kind", std::string(kind))
+      .field("id", id)
+      .field("seconds", seconds)
+      .end_object();
+  write_line(w.str());
+}
+
 void JsonlTraceSink::status(Stage stage, StageStatus status) {
   core::JsonWriter w;
   w.begin_object()
@@ -185,6 +238,14 @@ void JsonlTraceSink::status(Stage stage, StageStatus status) {
       .field("status", status_name(status))
       .end_object();
   write_line(w.str());
+  // Stage boundaries are where a killed campaign wants its trace intact:
+  // everything before the last status survives even an abrupt exit.
+  flush();
+}
+
+void JsonlTraceSink::flush() {
+  std::lock_guard lock(mutex_);
+  out_.flush();
 }
 
 }  // namespace simcov::obs

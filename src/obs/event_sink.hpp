@@ -6,16 +6,28 @@
 //   * span(stage, seconds):   a completed timing slice of a stage. Stages
 //     run in interleaved batches (the tour streams while earlier sequences
 //     simulate), so a stage emits many spans; consumers accumulate.
-//   * counter(stage, name, value): a named scalar snapshot (e.g. the peak
-//     number of in-flight sequences).
+//   * counter(stage, name, value): one occurrence worth `value` of a named
+//     event-like quantity (store.hit, checkpoint.write). Consumers SUM
+//     counter emissions — snapshot-style values must use gauge instead.
+//   * gauge(stage, name, value):  a named level snapshot (e.g. the peak
+//     number of in-flight sequences). Consumers keep the MAX over
+//     emissions, so re-emitting a gauge is never wrong by construction.
 //   * item(stage, kind, id, value): one unit of work finishing (a sequence
 //     generated, a program concretized, a clean run simulated). Item events
 //     may arrive from worker threads; implementations must be thread-safe.
+//   * latency(stage, kind, id, seconds): wall-clock latency of one unit of
+//     work (a sequence pulled, a program concretized, a clean run
+//     simulated, an index' queue wait). Like item, may arrive from worker
+//     threads concurrently.
 //   * status(stage, status):  how the stage ended (ok / budget / cancelled).
 //
 // SpanRecorder folds spans back into the legacy PhaseTimings view;
-// JsonlTraceSink streams every event as one JSON object per line (the
-// bench binaries' --trace output); MultiSink fans out to both.
+// CounterRecorder aggregates counters (summed) and gauges (max);
+// MetricsRegistry (obs/metrics.hpp) turns the full event flow into
+// counters and latency histograms; JsonlTraceSink streams every event as
+// one JSON object per line (the bench binaries' --trace output);
+// PerfettoTraceSink (obs/exporters.hpp) writes Chrome trace-event JSON;
+// MultiSink fans out to any combination.
 #pragma once
 
 #include <array>
@@ -70,12 +82,25 @@ class EventSink {
     (void)name;
     (void)value;
   }
+  virtual void gauge(Stage stage, std::string_view name,
+                     std::uint64_t value) {
+    (void)stage;
+    (void)name;
+    (void)value;
+  }
   virtual void item(Stage stage, std::string_view kind, std::uint64_t id,
                     std::uint64_t value) {
     (void)stage;
     (void)kind;
     (void)id;
     (void)value;
+  }
+  virtual void latency(Stage stage, std::string_view kind, std::uint64_t id,
+                       double seconds) {
+    (void)stage;
+    (void)kind;
+    (void)id;
+    (void)seconds;
   }
   virtual void status(Stage stage, StageStatus status) {
     (void)stage;
@@ -105,21 +130,27 @@ class SpanRecorder final : public EventSink {
   std::array<StageStatus, kStageCount> status_{};
 };
 
-/// Accumulates counter events by name, summed across stages and emissions.
-/// Fits event-per-occurrence counters (`store.hit`, `checkpoint.write`, …);
-/// snapshot-style counters (e.g. `sequences_in_flight_peak`) sum too, so
-/// read those from a trace instead. Thread-safe.
+/// Accumulates counter events by name (summed across stages and emissions)
+/// and gauge events by name (max over emissions). The split makes summed
+/// counters correct by construction: event-per-occurrence quantities
+/// (`store.hit`, `checkpoint.write`, …) arrive as counters, level
+/// snapshots (`sequences_in_flight_peak`) as gauges. Thread-safe.
 class CounterRecorder final : public EventSink {
  public:
   void counter(Stage stage, std::string_view name,
                std::uint64_t value) override;
+  void gauge(Stage stage, std::string_view name,
+             std::uint64_t value) override;
 
   /// Total accumulated value of a counter name (0 when never emitted).
   [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  /// Maximum emitted value of a gauge name (0 when never emitted).
+  [[nodiscard]] std::uint64_t gauge_value(std::string_view name) const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t, std::less<>> counts_;
+  std::map<std::string, std::uint64_t, std::less<>> gauges_;
 };
 
 /// Forwards every event to each registered sink, in order.
@@ -133,8 +164,12 @@ class MultiSink final : public EventSink {
   void span(Stage stage, double seconds) override;
   void counter(Stage stage, std::string_view name,
                std::uint64_t value) override;
+  void gauge(Stage stage, std::string_view name,
+             std::uint64_t value) override;
   void item(Stage stage, std::string_view kind, std::uint64_t id,
             std::uint64_t value) override;
+  void latency(Stage stage, std::string_view kind, std::uint64_t id,
+               double seconds) override;
   void status(Stage stage, StageStatus status) override;
 
  private:
@@ -164,6 +199,11 @@ class ScopedSpan {
 ///   {"event":"item","stage":"simulate","kind":"clean_run","id":3,"value":6}
 /// Writes are mutex-serialized; worker-thread item events may interleave
 /// with coordinator events in file order, which is fine for a trace.
+///
+/// The stream flushes on every status event (stage boundaries are exactly
+/// where a killed campaign wants its trace intact — pairs with the
+/// checkpoint/resume story) and on explicit flush(); everything else is
+/// buffered for throughput.
 class JsonlTraceSink final : public EventSink {
  public:
   /// Throws std::runtime_error when the file cannot be opened.
@@ -172,9 +212,16 @@ class JsonlTraceSink final : public EventSink {
   void span(Stage stage, double seconds) override;
   void counter(Stage stage, std::string_view name,
                std::uint64_t value) override;
+  void gauge(Stage stage, std::string_view name,
+             std::uint64_t value) override;
   void item(Stage stage, std::string_view kind, std::uint64_t id,
             std::uint64_t value) override;
+  void latency(Stage stage, std::string_view kind, std::uint64_t id,
+               double seconds) override;
   void status(Stage stage, StageStatus status) override;
+
+  /// Pushes everything buffered so far to the file.
+  void flush();
 
  private:
   void write_line(const std::string& line);

@@ -31,7 +31,9 @@
 #include "dlx/pipeline.hpp"
 #include "fsm/mealy.hpp"
 #include "model/test_model.hpp"
+#include "obs/coverage_telemetry.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "store/artifact_store.hpp"
 #include "testmodel/testmodel.hpp"
 
@@ -175,6 +177,22 @@ struct CampaignOptions {
   /// 0 = twice the worker-pool lanes.
   std::size_t max_in_flight_sequences = 0;
 
+  // ---- Metrics & coverage telemetry --------------------------------------
+  /// Metrics aggregation backend. When set, the registry is attached to the
+  /// pipeline's sink fan-out (in addition to `sink`) and its summary lands
+  /// on CampaignResult::metrics — the "metrics" section of the JSON report.
+  /// Histogram values derive from wall-clock and are NOT deterministic; the
+  /// tests' semantic fingerprints erase them like "timings".
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Collect the deterministic coverage-telemetry section (convergence
+  /// curve, transition hit balance, per-bug exposure latency). Costs one
+  /// coordinator-thread model replay per committed sequence; keyed off
+  /// committed indices, so the section is bit-identical at any thread count
+  /// and across checkpoint/resume.
+  bool collect_coverage_telemetry = false;
+  /// Point budget of the downsampled convergence curve.
+  std::size_t telemetry_curve_budget = 512;
+
   // ---- Artifact store (content-addressed caching + checkpoint/resume) ----
   /// Directory of the artifact store. Empty: no store — no caching, no
   /// checkpoints. The tour and symbolic-snapshot stages consult the store
@@ -239,6 +257,14 @@ struct CampaignResult {
   /// Content key of this campaign's report artifact; set only when a store
   /// was configured (core::run_campaign publishes the JSON under it).
   std::optional<store::Fingerprint> report_key;
+  /// Snapshot of the attached MetricsRegistry (CampaignOptions::metrics);
+  /// emitted as "metrics" in the JSON report. Wall-clock derived — not
+  /// deterministic.
+  std::optional<obs::MetricsSummary> metrics;
+  /// Deterministic coverage telemetry; set when
+  /// CampaignOptions::collect_coverage_telemetry is on. Emitted as
+  /// "coverage_telemetry" in the JSON report.
+  std::optional<obs::CoverageTelemetry> coverage_telemetry;
 
   [[nodiscard]] std::size_t bugs_exposed() const;
   [[nodiscard]] std::uint64_t total_impl_cycles() const;
@@ -282,6 +308,10 @@ struct MutantCoverageResult {
   std::size_t equivalent = 0;  ///< sampled mutants with identical behaviour
   std::size_t sequences = 0;
   std::size_t test_length = 0;
+  /// Per exposed real mutant, in sample order: the 1-based index of the
+  /// first test sequence that exposed it — Theorem 3's completeness claim
+  /// as a latency distribution. Deterministic (per-mutant verdict slots).
+  std::vector<std::uint64_t> exposure_latency;
   PhaseTimings timings;
   /// Per-stage outcome (tour + mutant replay).
   std::vector<StageReport> stage_reports;

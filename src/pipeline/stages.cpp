@@ -1,5 +1,6 @@
 #include "pipeline/stages.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -249,18 +250,42 @@ std::unique_ptr<model::TourStream> TourStage::open(
   return live;
 }
 
+namespace {
+
+/// Seconds elapsed since `t0` — per-item latency measurement.
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Queue-wait observer emitting latency events with globally-indexed ids.
+runtime::ThreadPool::QueueWaitObserver queue_wait_observer(
+    obs::EventSink& sink, obs::Stage stage, std::size_t first_id) {
+  return [&sink, stage, first_id](std::size_t i, double wait) {
+    sink.latency(stage, "queue_wait", first_id + i, wait);
+  };
+}
+
+}  // namespace
+
 void ConcretizeStage::run_batch(
     const testmodel::BuiltTestModel& built,
     std::span<const std::vector<std::vector<bool>>> batch,
-    std::span<validate::ConcretizedProgram> out, runtime::ThreadPool& pool,
-    const CancellationToken& cancel, obs::EventSink& sink) {
+    std::size_t first_sequence, std::span<validate::ConcretizedProgram> out,
+    runtime::ThreadPool& pool, const CancellationToken& cancel,
+    obs::EventSink& sink) {
   obs::ScopedSpan span(sink, obs::Stage::kConcretize);
+  const auto queue_wait =
+      queue_wait_observer(sink, obs::Stage::kConcretize, first_sequence);
   pool.for_each_index(
       batch.size(),
       [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         out[i] = validate::concretize_sequence(built, batch[i]);
+        sink.latency(obs::Stage::kConcretize, "program", first_sequence + i,
+                     seconds_since(t0));
       },
-      cancel.raw());
+      cancel.raw(), &queue_wait);
 }
 
 void SimulateStage::run_batch(
@@ -269,15 +294,20 @@ void SimulateStage::run_batch(
     std::span<RunMetrics> out, runtime::ThreadPool& pool,
     const CancellationToken& cancel, obs::EventSink& sink) {
   obs::ScopedSpan span(sink, obs::Stage::kSimulate);
+  const auto queue_wait =
+      queue_wait_observer(sink, obs::Stage::kSimulate, first_sequence);
   pool.for_each_index(
       batch.size(),
       [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         const auto r = validate::run_validation(batch[i], {}, max_cycles);
         out[i] = RunMetrics{first_sequence + i, r.impl_cycles,
                             r.checkpoints_compared, r.passed,
                             r.cycle_budget_exhausted};
+        sink.latency(obs::Stage::kSimulate, "clean_run", first_sequence + i,
+                     seconds_since(t0));
       },
-      cancel.raw());
+      cancel.raw(), &queue_wait);
 }
 
 std::vector<BugExposure> CompareStage::run(
@@ -287,12 +317,14 @@ std::vector<BugExposure> CompareStage::run(
     const CancellationToken& cancel, obs::EventSink& sink) {
   std::vector<BugExposure> exposures(bugs.size());
   obs::ScopedSpan span(sink, obs::Stage::kCompare);
+  const auto queue_wait = queue_wait_observer(sink, obs::Stage::kCompare, 0);
   // Independent across bugs; within a bug the programs run in order with
   // early exit at the first exposing one, exactly like the serial engine.
   // Budget-exhausted runs never count as exposure.
   pool.for_each_index(
       bugs.size(),
       [&](std::size_t b) {
+        const auto t0 = std::chrono::steady_clock::now();
         BugExposure exposure;
         exposure.bug = bugs[b];
         const dlx::PipelineConfig config{{bugs[b]}};
@@ -309,9 +341,10 @@ std::vector<BugExposure> CompareStage::run(
           }
         }
         sink.item(obs::Stage::kCompare, "bug", b, exposure.programs_run);
+        sink.latency(obs::Stage::kCompare, "bug", b, seconds_since(t0));
         exposures[b] = exposure;
       },
-      cancel.raw());
+      cancel.raw(), &queue_wait);
   return exposures;
 }
 
@@ -358,16 +391,21 @@ MutantCoverageResult MutantReplayStage::run(
     struct Verdict {
       bool exposed = false;
       bool equivalent = false;
+      std::size_t exposing_sequence = 0;  ///< 1-based; set when exposed
     };
     std::vector<Verdict> verdicts(mutants.size());
+    const auto queue_wait =
+        queue_wait_observer(sink, obs::Stage::kMutantReplay, 0);
     runtime::parallel_for_each(
         options.threads, mutants.size(),
         [&](std::size_t m) {
+          const auto t0 = std::chrono::steady_clock::now();
           const auto& mut = mutants[m];
           Verdict v;
-          for (const auto& seq : set.sequences) {
-            if (errmodel::exposes(machine, mut, start, seq)) {
+          for (std::size_t s = 0; s < set.sequences.size(); ++s) {
+            if (errmodel::exposes(machine, mut, start, set.sequences[s])) {
               v.exposed = true;
+              v.exposing_sequence = s + 1;
               break;
             }
           }
@@ -380,9 +418,11 @@ MutantCoverageResult MutantReplayStage::run(
                 fsm::check_equivalence(machine, start, mutant, start)
                     .equivalent;
           }
+          sink.latency(obs::Stage::kMutantReplay, "mutant", m,
+                       seconds_since(t0));
           verdicts[m] = v;
         },
-        options.cancel.raw());
+        options.cancel.raw(), &queue_wait);
     if (!options.cancel.cancelled()) {
       // Fold only complete replays: a cancelled loop leaves unclaimed
       // slots default-initialized, which would read as unexposed mutants.
@@ -392,7 +432,12 @@ MutantCoverageResult MutantReplayStage::run(
           continue;
         }
         ++result.mutants;
-        if (v.exposed) ++result.exposed;
+        if (v.exposed) {
+          ++result.exposed;
+          // Sample order, so the latency list is deterministic at any
+          // thread count — the Theorem-3 exposure distribution.
+          result.exposure_latency.push_back(v.exposing_sequence);
+        }
       }
     }
   }

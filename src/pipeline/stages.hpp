@@ -79,11 +79,14 @@ struct TourStage {
 
 /// Concretizes one batch of tour sequences into DLX programs, sharded over
 /// the pool. `out` must be pre-sized to the batch; a cancelled batch leaves
-/// unclaimed slots default-initialized (the executor drops the batch). One
-/// kConcretize span per call.
+/// unclaimed slots default-initialized (the executor drops the batch).
+/// `first_sequence` is the absolute test-set index of batch element 0 — it
+/// labels the per-item "program" latency and "queue_wait" events with
+/// global sequence indices. One kConcretize span per call.
 struct ConcretizeStage {
   static void run_batch(const testmodel::BuiltTestModel& built,
                         std::span<const std::vector<std::vector<bool>>> batch,
+                        std::size_t first_sequence,
                         std::span<validate::ConcretizedProgram> out,
                         runtime::ThreadPool& pool,
                         const CancellationToken& cancel,

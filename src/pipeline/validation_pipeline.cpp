@@ -1,7 +1,9 @@
 #include "pipeline/validation_pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "pipeline/stages.hpp"
@@ -48,10 +50,19 @@ CampaignResult ValidationPipeline::run(
   obs::MultiSink sink;
   sink.add(&recorder);
   sink.add(options_.sink);
+  sink.add(options_.metrics);
   const CancellationToken& cancel = options_.cancel;
 
   CampaignResult result;
   auto build = ModelBuildStage::run(options_, sink, result);
+
+  // Coverage telemetry replays committed sequences through the model on the
+  // coordinator thread — the one account that is identical for live,
+  // store-replayed (no live tracker), and resumed campaigns.
+  std::optional<obs::CoverageTelemetryCollector> telemetry;
+  if (options_.collect_coverage_telemetry) {
+    telemetry.emplace(*build.model, options_.telemetry_curve_budget);
+  }
 
   // The artifact store (optional): caches tours and symbolic snapshots
   // across campaigns, and checkpoints this campaign's committed prefix.
@@ -145,13 +156,20 @@ CampaignResult ValidationPipeline::run(
       while (batch.size() < pull_cap &&
              !items_exhausted(options_.budgets.tour,
                               yielded + batch.size())) {
+        const auto pull_start = std::chrono::steady_clock::now();
         auto seq = stream->next_sequence();
+        const double pull_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pull_start)
+                .count();
         if (!seq.has_value()) {
           stream_done = true;
           break;
         }
         sink.item(obs::Stage::kTour, "sequence", yielded + batch.size(),
                   seq->size());
+        sink.latency(obs::Stage::kTour, "sequence", yielded + batch.size(),
+                     pull_seconds);
         batch.push_back(std::move(*seq));
       }
     }
@@ -163,8 +181,8 @@ CampaignResult ValidationPipeline::run(
     // Concretize the batch (backend-neutral: each tour step is already a
     // primary-input bit vector).
     std::vector<validate::ConcretizedProgram> batch_programs(batch.size());
-    ConcretizeStage::run_batch(*build.built, batch, batch_programs, pool,
-                               cancel, sink);
+    ConcretizeStage::run_batch(*build.built, batch, first, batch_programs,
+                               pool, cancel, sink);
     if (cancel.cancelled()) {
       // The pool drained mid-batch: unclaimed slots are empty. Drop the
       // whole batch — per-batch atomicity keeps the retained prefix exact.
@@ -207,6 +225,7 @@ CampaignResult ValidationPipeline::run(
       result.test_length += batch[i].size();
       result.total_instructions += batch_programs[i].instructions.size();
       result.clean_runs.push_back(batch_runs[i]);
+      if (telemetry.has_value()) telemetry->commit_sequence(batch[i]);
       programs.push_back(std::move(batch_programs[i]));
     }
 
@@ -226,7 +245,9 @@ CampaignResult ValidationPipeline::run(
   }
   if (store != nullptr) store->add_resumed_sequences(restored_used);
 
-  sink.counter(obs::Stage::kTour, "sequences_in_flight_peak", in_flight_peak);
+  // A level snapshot, not an occurrence: gauge (max semantics), so sinks
+  // that sum counters can never mis-aggregate it.
+  sink.gauge(obs::Stage::kTour, "sequences_in_flight_peak", in_flight_peak);
   {
     // Coverage statistics come from the stream's own tracker, so a
     // truncated tour reports the coverage of what was actually yielded.
@@ -327,6 +348,26 @@ CampaignResult ValidationPipeline::run(
   report(obs::Stage::kConcretize, programs.size());
   report(obs::Stage::kSimulate, result.clean_runs.size());
   report(obs::Stage::kCompare, bugs_compared);
+
+  if (telemetry.has_value()) {
+    auto t = telemetry->snapshot();
+    // Exposure latency comes from the compare stage's per-bug first-exposing
+    // indices (committed order), one entry per compared bug.
+    t.bug_exposure_latency.reserve(result.exposures.size());
+    for (const auto& e : result.exposures) {
+      obs::ExposureLatency lat;
+      lat.exposed = e.exposed;
+      if (e.exposing_sequence.has_value()) {
+        lat.sequences = *e.exposing_sequence + 1;  // 1-based
+      }
+      t.bug_exposure_latency.push_back(lat);
+    }
+    result.coverage_telemetry = std::move(t);
+  }
+  // Snapshot last, so the summary covers every event the campaign emitted.
+  if (options_.metrics != nullptr) {
+    result.metrics = options_.metrics->summary();
+  }
   return result;
 }
 

@@ -37,6 +37,12 @@ void ThreadPool::work(Job& job) {
     }
     const std::size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= job.count) return;
+    if (job.queue_wait != nullptr) {
+      (*job.queue_wait)(index,
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - job.posted)
+                            .count());
+    }
     try {
       (*job.fn)(index);
     } catch (...) {
@@ -75,12 +81,15 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::for_each_index(std::size_t count,
                                 const std::function<void(std::size_t)>& fn,
-                                const std::atomic<bool>* cancel) {
+                                const std::atomic<bool>* cancel,
+                                const QueueWaitObserver* queue_wait) {
   if (count == 0) return;
   Job job;
   job.fn = &fn;
   job.count = count;
   job.cancel = cancel;
+  job.queue_wait = queue_wait;
+  job.posted = std::chrono::steady_clock::now();
   if (!workers_.empty() && count > 1) {
     {
       std::lock_guard lock(mutex_);
@@ -103,19 +112,26 @@ void ThreadPool::for_each_index(std::size_t count,
 
 void parallel_for_each(std::size_t threads, std::size_t count,
                        const std::function<void(std::size_t)>& fn,
-                       const std::atomic<bool>* cancel) {
+                       const std::atomic<bool>* cancel,
+                       const ThreadPool::QueueWaitObserver* queue_wait) {
   const std::size_t lanes = resolve_threads(threads);
   if (lanes <= 1 || count <= 1) {
+    const auto posted = std::chrono::steady_clock::now();
     for (std::size_t k = 0; k < count; ++k) {
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         return;
+      }
+      if (queue_wait != nullptr) {
+        (*queue_wait)(k, std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - posted)
+                             .count());
       }
       fn(k);
     }
     return;
   }
   ThreadPool pool(lanes);
-  pool.for_each_index(count, fn, cancel);
+  pool.for_each_index(count, fn, cancel, queue_wait);
 }
 
 }  // namespace simcov::runtime

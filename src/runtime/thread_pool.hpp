@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -32,6 +33,13 @@ namespace simcov::runtime {
 
 class ThreadPool {
  public:
+  /// Observes scheduling delay: called on the claiming lane, immediately
+  /// before fn(index), with the seconds between the loop being posted and
+  /// this index being claimed. Instrumentation only — may run concurrently
+  /// from every lane, so observers must be thread-safe.
+  using QueueWaitObserver =
+      std::function<void(std::size_t index, double wait_seconds)>;
+
   /// Spawns `resolve_threads(threads) - 1` workers; the calling thread is
   /// the remaining lane, so `ThreadPool(1)` runs loops inline with no
   /// threading machinery at all.
@@ -54,13 +62,16 @@ class ThreadPool {
   /// batch as abandoned (per-index result slots make that trivial).
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn,
-                      const std::atomic<bool>* cancel = nullptr);
+                      const std::atomic<bool>* cancel = nullptr,
+                      const QueueWaitObserver* queue_wait = nullptr);
 
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t count = 0;
     const std::atomic<bool>* cancel = nullptr;
+    const QueueWaitObserver* queue_wait = nullptr;
+    std::chrono::steady_clock::time_point posted;
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;  // first failure; guarded by error_mutex
     std::mutex error_mutex;
@@ -85,6 +96,8 @@ class ThreadPool {
 /// ThreadPool::for_each_index (the inline path checks it between indices).
 void parallel_for_each(std::size_t threads, std::size_t count,
                        const std::function<void(std::size_t)>& fn,
-                       const std::atomic<bool>* cancel = nullptr);
+                       const std::atomic<bool>* cancel = nullptr,
+                       const ThreadPool::QueueWaitObserver* queue_wait =
+                           nullptr);
 
 }  // namespace simcov::runtime

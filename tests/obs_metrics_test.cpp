@@ -1,0 +1,362 @@
+// Tests for the observability subsystem: the log2 histogram bucket scheme,
+// MetricsRegistry's event -> metric folding, CounterRecorder gauge (max)
+// semantics, the JSONL sink's flush boundaries, the coverage-telemetry
+// curve builder and collector, and the Perfetto / Prometheus exporters'
+// output formats.
+#include "obs/coverage_telemetry.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+#include "model/explicit_model.hpp"
+
+namespace simcov {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("simcov_obs_test_") + name);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket scheme
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBuckets, IndexIsBitWidthClampedToLastBucket) {
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket_index(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket_index(255), 8u);
+  EXPECT_EQ(obs::histogram_bucket_index(256), 9u);
+  EXPECT_EQ(obs::histogram_bucket_index(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(obs::histogram_bucket_index(std::uint64_t{1} << 63), 63u);
+  EXPECT_EQ(
+      obs::histogram_bucket_index(std::numeric_limits<std::uint64_t>::max()),
+      63u);
+}
+
+TEST(HistogramBuckets, UpperBoundsArePowerOfTwoMinusOne) {
+  EXPECT_EQ(obs::histogram_bucket_upper_bound(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_upper_bound(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket_upper_bound(2), 3u);
+  EXPECT_EQ(obs::histogram_bucket_upper_bound(8), 255u);
+  EXPECT_EQ(obs::histogram_bucket_upper_bound(obs::kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramBuckets, EveryValueFallsWithinItsBucketBound) {
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{7}, std::uint64_t{8},
+                                std::uint64_t{1000}, std::uint64_t{1} << 40}) {
+    const std::size_t i = obs::histogram_bucket_index(v);
+    EXPECT_LE(v, obs::histogram_bucket_upper_bound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, obs::histogram_bucket_upper_bound(i - 1)) << "v=" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersSumAndGaugesMax) {
+  obs::MetricsRegistry reg;
+  reg.counter(obs::Stage::kTour, "store.hit", 2);
+  reg.counter(obs::Stage::kTour, "store.hit", 3);
+  reg.gauge(obs::Stage::kTour, "in_flight", 4);
+  reg.gauge(obs::Stage::kTour, "in_flight", 2);  // lower: must not win
+
+  const auto s = reg.summary();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].stage, obs::Stage::kTour);
+  EXPECT_EQ(s.counters[0].name, "store.hit");
+  EXPECT_EQ(s.counters[0].value, 5u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].value, 4u);
+}
+
+TEST(MetricsRegistry, EventVocabularyMapsToNamedHistograms) {
+  obs::MetricsRegistry reg;
+  reg.span(obs::Stage::kSimulate, 1e-6);                     // -> span_ns=1000
+  reg.item(obs::Stage::kTour, "sequence", 0, 5);             // -> sequence=5
+  reg.latency(obs::Stage::kConcretize, "program", 7, 2e-9);  // -> ..._ns=2
+
+  const auto s = reg.summary();
+  ASSERT_EQ(s.histograms.size(), 3u);
+  // Deterministic (stage, name) order: kTour < kConcretize < kSimulate.
+  EXPECT_EQ(s.histograms[0].stage, obs::Stage::kTour);
+  EXPECT_EQ(s.histograms[0].name, "sequence");
+  EXPECT_EQ(s.histograms[0].value.sum, 5u);
+  EXPECT_EQ(s.histograms[1].stage, obs::Stage::kConcretize);
+  EXPECT_EQ(s.histograms[1].name, "program.latency_ns");
+  EXPECT_EQ(s.histograms[1].value.sum, 2u);
+  EXPECT_EQ(s.histograms[2].stage, obs::Stage::kSimulate);
+  EXPECT_EQ(s.histograms[2].name, "span_ns");
+  EXPECT_EQ(s.histograms[2].value.sum, 1000u);
+}
+
+TEST(MetricsRegistry, QuantilesAreBucketUpperBoundsAndMaxIsExact) {
+  obs::MetricsRegistry reg;
+  // 90 small values in bucket 1 (ub 1), 10 larger in bucket 4 (ub 15).
+  for (int i = 0; i < 90; ++i) reg.observe(obs::Stage::kTour, "h", 1);
+  for (int i = 0; i < 10; ++i) reg.observe(obs::Stage::kTour, "h", 12);
+
+  const auto s = reg.summary();
+  ASSERT_EQ(s.histograms.size(), 1u);
+  const auto& h = s.histograms[0].value;
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.sum, 90u + 120u);
+  EXPECT_EQ(h.max, 12u);  // exact, not a bucket bound
+  EXPECT_EQ(h.p50, 1u);
+  EXPECT_EQ(h.p90, 1u);   // rank 90 still lands in the first bucket
+  EXPECT_EQ(h.p99, 15u);  // rank 99 crosses into the bucket of 12
+  EXPECT_EQ(h.buckets[obs::histogram_bucket_index(1)], 90u);
+  EXPECT_EQ(h.buckets[obs::histogram_bucket_index(12)], 10u);
+}
+
+TEST(MetricsRegistry, ConcurrentObservationsAreAllCounted) {
+  obs::MetricsRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        reg.add_counter(obs::Stage::kSimulate, "n", 1);
+        reg.observe(obs::Stage::kSimulate, "v", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto s = reg.summary();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].value, kThreads * kPerThread);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].value.count, kThreads * kPerThread);
+  EXPECT_EQ(s.histograms[0].value.max, kPerThread - 1);
+}
+
+// ---------------------------------------------------------------------------
+// CounterRecorder gauge semantics + JSONL flush
+// ---------------------------------------------------------------------------
+
+TEST(CounterRecorder, GaugeKeepsTheMaxAcrossEmissions) {
+  obs::CounterRecorder rec;
+  rec.gauge(obs::Stage::kTour, "peak", 3);
+  rec.gauge(obs::Stage::kTour, "peak", 9);
+  rec.gauge(obs::Stage::kTour, "peak", 5);
+  EXPECT_EQ(rec.gauge_value("peak"), 9u);
+  EXPECT_EQ(rec.value("peak"), 0u) << "gauges must not leak into counters";
+  EXPECT_EQ(rec.gauge_value("missing"), 0u);
+}
+
+TEST(JsonlTraceSink, ExplicitFlushAndStatusBoundaryMakeEventsVisible) {
+  const auto path = temp_file("jsonl_flush.jsonl");
+  std::filesystem::remove(path);
+  {
+    obs::JsonlTraceSink sink(path.string());
+    sink.gauge(obs::Stage::kTour, "peak", 7);
+    sink.latency(obs::Stage::kSimulate, "clean_run", 3, 0.25);
+    sink.flush();
+    const std::string after_flush = slurp(path);
+    EXPECT_NE(after_flush.find("\"event\":\"gauge\""), std::string::npos);
+    EXPECT_NE(after_flush.find("\"event\":\"latency\""), std::string::npos);
+
+    sink.status(obs::Stage::kTour, obs::StageStatus::kOk);
+    const std::string after_status = slurp(path);
+    EXPECT_NE(after_status.find("\"event\":\"status\""), std::string::npos)
+        << "status events must flush without an explicit flush() call";
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage curve builder
+// ---------------------------------------------------------------------------
+
+obs::CoveragePoint point(std::uint64_t i) {
+  return obs::CoveragePoint{i, i, 2 * i};
+}
+
+TEST(CoverageCurveBuilder, KeepsEverythingUnderBudget) {
+  obs::CoverageCurveBuilder b(16);
+  for (std::uint64_t i = 1; i <= 10; ++i) b.add(point(i));
+  const auto pts = b.points();
+  ASSERT_EQ(pts.size(), 10u);
+  for (std::uint64_t i = 1; i <= 10; ++i) EXPECT_EQ(pts[i - 1], point(i));
+}
+
+TEST(CoverageCurveBuilder, DownsamplesToBudgetAndKeepsTheLastPoint) {
+  constexpr std::size_t kBudget = 8;
+  obs::CoverageCurveBuilder b(kBudget);
+  for (std::uint64_t i = 1; i <= 1000; ++i) b.add(point(i));
+  const auto pts = b.points();
+  ASSERT_GE(pts.size(), 2u);
+  EXPECT_LE(pts.size(), kBudget + 1);  // +1 for the always-kept endpoint
+  EXPECT_EQ(pts.back(), point(1000));
+  for (std::size_t j = 1; j < pts.size(); ++j) {
+    EXPECT_LT(pts[j - 1].sequence, pts[j].sequence)
+        << "curve must stay strictly increasing in sequence index";
+  }
+}
+
+TEST(CoverageCurveBuilder, IsDeterministicInTheAppendSequenceAlone) {
+  obs::CoverageCurveBuilder a(32);
+  obs::CoverageCurveBuilder b(32);
+  for (std::uint64_t i = 1; i <= 777; ++i) {
+    a.add(point(i));
+    b.add(point(i));
+  }
+  EXPECT_EQ(a.points(), b.points());
+}
+
+// ---------------------------------------------------------------------------
+// Coverage telemetry collector
+// ---------------------------------------------------------------------------
+
+TEST(CoverageTelemetryCollector, ReplayMatchesTheModelsOwnTourAccounting) {
+  const auto m = fsm::random_connected_machine(24, 3, 4, 17);
+  model::ExplicitModel tour_model(m, 0);
+  auto stream = tour_model.transition_tour_stream();
+
+  model::ExplicitModel replay_model(m, 0);
+  obs::CoverageTelemetryCollector collector(replay_model, 64);
+  while (auto seq = stream->next_sequence()) collector.commit_sequence(*seq);
+  const auto summary = stream->summary();
+
+  const auto telemetry = collector.snapshot();
+  EXPECT_EQ(telemetry.curve_budget, 64u);
+  ASSERT_FALSE(telemetry.convergence.empty());
+  const auto& last = telemetry.convergence.back();
+  EXPECT_EQ(last.sequence, collector.committed());
+  EXPECT_EQ(last.transitions_covered, telemetry.distinct_transitions);
+  EXPECT_EQ(static_cast<double>(telemetry.distinct_transitions),
+            summary.coverage.transitions_covered);
+  EXPECT_EQ(static_cast<double>(last.states_visited),
+            summary.coverage.states_visited);
+  EXPECT_GE(telemetry.max_transition_hits, 1u);
+
+  // Every distinct transition appears in exactly one hit bucket.
+  std::uint64_t bucketed = 0;
+  for (const auto n : telemetry.transition_hits) bucketed += n;
+  EXPECT_EQ(bucketed, telemetry.distinct_transitions);
+  EXPECT_TRUE(telemetry.bug_exposure_latency.empty())
+      << "the collector leaves exposure latency to the pipeline";
+}
+
+TEST(CoverageTelemetryCollector, InvalidInputInACommittedSequenceThrows) {
+  const auto m = fsm::random_connected_machine(8, 3, 2, 5);  // 3 inputs
+  model::ExplicitModel model(m, 0);
+  obs::CoverageTelemetryCollector collector(model);
+  // Input id 3 needs two bits and does not exist in a 3-input machine.
+  const std::vector<std::vector<bool>> bad{{true, true}};
+  EXPECT_THROW(collector.commit_sequence(bad), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, RendersCountersGaugesAndCumulativeHistograms) {
+  obs::MetricsRegistry reg;
+  reg.add_counter(obs::Stage::kTour, "store.hit", 5);
+  reg.max_gauge(obs::Stage::kTour, "sequences_in_flight_peak", 3);
+  for (int i = 0; i < 4; ++i) reg.observe(obs::Stage::kSimulate, "steps", 6);
+  reg.observe(obs::Stage::kSimulate, "steps", 100);
+
+  const std::string text = obs::write_prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE simcov_store_hit_total counter"),
+            std::string::npos)
+      << "dots must sanitize to underscores and counters get _total";
+  EXPECT_NE(text.find("simcov_store_hit_total{stage=\"tour\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE simcov_sequences_in_flight_peak gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("simcov_sequences_in_flight_peak{stage=\"tour\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE simcov_steps histogram"), std::string::npos);
+  // Cumulative buckets: the bucket holding 6 (ub 7) counts 4, +Inf counts 5.
+  EXPECT_NE(text.find("simcov_steps_bucket{stage=\"simulate\",le=\"7\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("simcov_steps_bucket{stage=\"simulate\",le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("simcov_steps_sum{stage=\"simulate\"} 124"),
+            std::string::npos);
+  EXPECT_NE(text.find("simcov_steps_count{stage=\"simulate\"} 5"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, EmptyRegistryRendersEmpty) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(obs::write_prometheus_text(reg).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto exporter
+// ---------------------------------------------------------------------------
+
+TEST(PerfettoTraceSink, EmitsAParseableTraceEventArray) {
+  const auto path = temp_file("perfetto.json");
+  std::filesystem::remove(path);
+  {
+    obs::PerfettoTraceSink sink(path.string());
+    sink.span(obs::Stage::kTour, 0.001);
+    sink.counter(obs::Stage::kTour, "store.hit", 1);
+    sink.counter(obs::Stage::kTour, "store.hit", 2);  // running total 3
+    sink.gauge(obs::Stage::kTour, "peak", 4);
+    sink.item(obs::Stage::kSimulate, "clean_run", 0, 6);
+    sink.latency(obs::Stage::kSimulate, "clean_run", 0, 0.002);
+    sink.status(obs::Stage::kTour, obs::StageStatus::kOk);
+  }  // destructor closes the JSON array
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.find('['), text.rfind('[')) << "exactly one array opener";
+  EXPECT_NE(text.find_last_of(']'), std::string::npos);
+  // Metadata names the per-stage tracks.
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  // One of each phase type made it out.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  // Counter tracks plot running totals, not increments.
+  EXPECT_NE(text.find("\"name\":\"tour.store.hit\",\"args\":{\"value\":3}"),
+            std::string::npos);
+  EXPECT_EQ(text.find("\"name\":\"tour.store.hit\",\"args\":{\"value\":2}"),
+            std::string::npos)
+      << "the second increment must plot the total, not the raw value";
+  // Every event object is properly closed: rough balance check.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace simcov

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -58,12 +59,15 @@ const std::vector<dlx::PipelineBug> kThreeBugs{
 
 /// The campaign outcome with wall-clock timings and store activity erased
 /// (cache hit/miss counts legitimately differ between semantically
-/// identical cold, warm and resumed runs).
+/// identical cold, warm and resumed runs). The metrics section is erased
+/// for the same reason — latency histograms are wall-clock — while
+/// coverage_telemetry is deterministic by contract and stays in.
 std::string semantic_fingerprint(core::CampaignResult result) {
   result.timings = {};
   result.bdd_stats.reset();
   result.symbolic_stats.reset();
   result.store_stats.reset();
+  result.metrics.reset();
   return core::to_json(result);
 }
 
@@ -260,12 +264,13 @@ TEST(PipelineCancel, PreCancelledMutantReplayReportsNothingExposed) {
 // Streaming window
 // ---------------------------------------------------------------------------
 
-/// Records the counters a pipeline run emits.
-class CounterRecorder final : public obs::EventSink {
+/// Records the in-flight peak a pipeline run emits — a level snapshot, so
+/// it arrives as a gauge (max semantics), never as a summed counter.
+class PeakGaugeRecorder final : public obs::EventSink {
  public:
-  void counter(obs::Stage, std::string_view name,
-               std::uint64_t value) override {
-    if (name == "sequences_in_flight_peak") peak_ = value;
+  void gauge(obs::Stage, std::string_view name,
+             std::uint64_t value) override {
+    if (name == "sequences_in_flight_peak") peak_ = std::max(peak_, value);
   }
 
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
@@ -281,7 +286,7 @@ TEST(PipelineWindow, InFlightSequencesBoundedByWindow) {
 
   // Cap the window far below the sequence count: the peak must respect it
   // and the outcome must not change — streaming bounds memory, not results.
-  CounterRecorder counters;
+  PeakGaugeRecorder counters;
   options.max_in_flight_sequences = 2;
   options.sink = &counters;
   const auto windowed = core::run_campaign(options, kThreeBugs);
@@ -539,6 +544,166 @@ TEST_F(PipelineStoreTest, ResumeWithoutACheckpointIsACleanColdRun) {
   core::CampaignOptions plain = tour_campaign_options();
   EXPECT_EQ(semantic_fingerprint(result),
             semantic_fingerprint(core::run_campaign(plain, kThreeBugs)));
+}
+
+// ---------------------------------------------------------------------------
+// Coverage telemetry: deterministic at any thread count and across resume
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTelemetry, ConvergenceCurveIsIdenticalAcrossThreadCounts) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.collect_coverage_telemetry = true;
+
+  options.threads = 1;
+  const auto reference = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(reference.coverage_telemetry.has_value());
+  const auto& ref = *reference.coverage_telemetry;
+  ASSERT_FALSE(ref.convergence.empty());
+  EXPECT_EQ(ref.convergence.back().transitions_covered,
+            ref.distinct_transitions);
+  EXPECT_GE(ref.max_transition_hits, 1u);
+  ASSERT_EQ(ref.bug_exposure_latency.size(), kThreeBugs.size());
+
+  const std::string fingerprint = semantic_fingerprint(reference);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    const auto result = core::run_campaign(options, kThreeBugs);
+    ASSERT_TRUE(result.coverage_telemetry.has_value())
+        << "threads=" << threads;
+    EXPECT_EQ(result.coverage_telemetry->convergence, ref.convergence)
+        << "threads=" << threads;
+    EXPECT_EQ(result.coverage_telemetry->transition_hits, ref.transition_hits)
+        << "threads=" << threads;
+    EXPECT_EQ(result.coverage_telemetry->bug_exposure_latency,
+              ref.bug_exposure_latency)
+        << "threads=" << threads;
+    EXPECT_EQ(semantic_fingerprint(result), fingerprint)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineTelemetry, ExposureLatencyAgreesWithTheCompareVerdicts) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.collect_coverage_telemetry = true;
+  const auto result = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(result.coverage_telemetry.has_value());
+  const auto& latencies = result.coverage_telemetry->bug_exposure_latency;
+  ASSERT_EQ(latencies.size(), result.exposures.size());
+  for (std::size_t b = 0; b < latencies.size(); ++b) {
+    EXPECT_EQ(latencies[b].exposed, result.exposures[b].exposed) << "bug " << b;
+    if (result.exposures[b].exposed) {
+      ASSERT_TRUE(result.exposures[b].exposing_sequence.has_value());
+      EXPECT_EQ(latencies[b].sequences,
+                *result.exposures[b].exposing_sequence + 1)
+          << "bug " << b << ": latency must be the 1-based exposing index";
+    }
+  }
+}
+
+TEST(PipelineTelemetry, CurveBudgetBoundsThePointCountButNotTheEndpoint) {
+  core::CampaignOptions full = tour_campaign_options();
+  full.collect_coverage_telemetry = true;
+  const auto reference = core::run_campaign(full, kThreeBugs);
+  ASSERT_TRUE(reference.coverage_telemetry.has_value());
+
+  core::CampaignOptions tight = full;
+  tight.telemetry_curve_budget = 2;
+  const auto result = core::run_campaign(tight, kThreeBugs);
+  ASSERT_TRUE(result.coverage_telemetry.has_value());
+  EXPECT_LE(result.coverage_telemetry->convergence.size(), 3u);
+  EXPECT_EQ(result.coverage_telemetry->convergence.back(),
+            reference.coverage_telemetry->convergence.back())
+      << "downsampling must keep the campaign's final coverage point";
+}
+
+TEST(PipelineTelemetry, DisabledByDefaultAndAbsentFromTheReport) {
+  const auto result =
+      core::run_campaign(tour_campaign_options(), kThreeBugs);
+  EXPECT_FALSE(result.coverage_telemetry.has_value());
+  EXPECT_EQ(core::to_json(result).find("coverage_telemetry"),
+            std::string::npos);
+}
+
+TEST(PipelineTelemetry, MetricsRegistrySummaryLandsInTheReport) {
+  obs::MetricsRegistry registry;
+  core::CampaignOptions options = tour_campaign_options();
+  options.metrics = &registry;
+  const auto result = core::run_campaign(options, kThreeBugs);
+  ASSERT_TRUE(result.metrics.has_value());
+  EXPECT_FALSE(result.metrics->histograms.empty());
+
+  // Per-sequence latency instrumentation fed the registry for every stage
+  // of the Figure-1 flow.
+  bool tour_latency = false, concretize_latency = false,
+       simulate_latency = false, queue_wait = false;
+  for (const auto& h : result.metrics->histograms) {
+    if (h.stage == obs::Stage::kTour && h.name == "sequence.latency_ns")
+      tour_latency = true;
+    if (h.stage == obs::Stage::kConcretize && h.name == "program.latency_ns")
+      concretize_latency = true;
+    if (h.stage == obs::Stage::kSimulate && h.name == "clean_run.latency_ns")
+      simulate_latency = true;
+    if (h.name == "queue_wait.latency_ns") queue_wait = true;
+  }
+  EXPECT_TRUE(tour_latency);
+  EXPECT_TRUE(concretize_latency);
+  EXPECT_TRUE(simulate_latency);
+  EXPECT_TRUE(queue_wait);
+
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean_run.latency_ns\""), std::string::npos);
+}
+
+TEST_F(PipelineStoreTest, TelemetrySurvivesKillAndResumeBitIdentically) {
+  core::CampaignOptions base = tour_campaign_options();
+  base.checkpoint_every = 2;
+  base.collect_coverage_telemetry = true;
+  const auto uninterrupted = core::run_campaign(base, kThreeBugs);
+  ASSERT_TRUE(uninterrupted.coverage_telemetry.has_value());
+  const std::string reference = semantic_fingerprint(uninterrupted);
+
+  core::CampaignOptions kopt = base;
+  kopt.cancel = core::CancellationToken{};
+  kopt.store_dir = dir_.string();
+  KillAfterRuns killer(kopt.cancel, 2);
+  kopt.sink = &killer;
+  const auto killed = core::run_campaign(kopt, kThreeBugs);
+  ASSERT_TRUE(killed.cancelled());
+
+  core::CampaignOptions ropt = base;
+  ropt.cancel = core::CancellationToken{};
+  ropt.store_dir = dir_.string();
+  ropt.resume = true;
+  const auto resumed = core::run_campaign(ropt, kThreeBugs);
+  ASSERT_TRUE(resumed.store_stats.has_value());
+  EXPECT_GT(resumed.store_stats->resumed_sequences, 0u);
+  ASSERT_TRUE(resumed.coverage_telemetry.has_value());
+  EXPECT_EQ(resumed.coverage_telemetry->convergence,
+            uninterrupted.coverage_telemetry->convergence)
+      << "replay across the resume boundary must reproduce the curve";
+  EXPECT_EQ(semantic_fingerprint(resumed), reference);
+}
+
+TEST(PipelineTelemetry, MutantReplayRecordsExposureLatencies) {
+  const auto m = fsm::random_connected_machine(20, 3, 4, 9);
+  model::ExplicitModel model(m, 0);
+  core::MutantCoverageOptions options;
+  options.mutant_sample = 40;
+  options.k_extension = 2;
+  const auto reference = core::evaluate_mutant_coverage(model, options);
+  EXPECT_EQ(reference.exposure_latency.size(), reference.exposed);
+  for (const auto latency : reference.exposure_latency) {
+    EXPECT_GE(latency, 1u);
+    EXPECT_LE(latency, reference.sequences);
+  }
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    core::MutantCoverageOptions opt = options;
+    opt.threads = threads;
+    const auto r = core::evaluate_mutant_coverage(model, opt);
+    EXPECT_EQ(r.exposure_latency, reference.exposure_latency)
+        << "threads=" << threads;
+  }
 }
 
 TEST(PipelineGolden, RandomWalkMatchesPreRefactorEngine) {
