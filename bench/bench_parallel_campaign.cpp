@@ -91,11 +91,13 @@ int main(int argc, char** argv) {
   base.store_dir = bench::store_dir();
   base.resume = bench::resume();
   base.collect_coverage_telemetry = true;
+  base.packed = bench::packed();
 
   bench::header("Parallel campaign engine: DLX bug-exposure campaign");
   bench::row("hardware threads",
              static_cast<std::size_t>(std::thread::hardware_concurrency()));
   bench::row("injected bugs", bugs.size());
+  bench::row("packed replay", base.packed ? "on" : "off");
 
   // Serial reference.
   core::CampaignOptions serial = base;
@@ -131,6 +133,19 @@ int main(int argc, char** argv) {
                 identical ? "yes" : "NO");
   }
 
+  // Cross-path identity: flipping the bit-parallel replay toggle must not
+  // move a byte of the semantic report.
+  {
+    core::CampaignOptions cross = base;
+    cross.threads = 1;
+    cross.packed = !base.packed;
+    const bool identical =
+        semantic_fingerprint(core::run_campaign(cross, bugs)) == reference;
+    all_identical = all_identical && identical;
+    bench::row("packed/scalar campaign reports identical",
+               identical ? "yes" : "NO");
+  }
+
   // Mutant replay (Theorem 3 apparatus), the other hot loop.
   bench::header("Parallel mutant replay: Theorem 3 experiment");
   const auto model = testmodel::build_dlx_control_model(tour_model_options());
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
   mc.exclude_equivalent = true;
   mc.threads = 1;
   mc.sink = bench::sink();
+  mc.packed = bench::packed();
   bench::Timer mc_serial_timer;
   const auto mc_serial = core::evaluate_mutant_coverage(em, mc);
   const double mc_serial_seconds = mc_serial_timer.seconds();
@@ -164,6 +180,19 @@ int main(int argc, char** argv) {
     all_identical = all_identical && identical;
     std::printf("  %-10zu %12.3f %9.2fx %12s\n", threads, seconds,
                 mc_serial_seconds / seconds, identical ? "yes" : "NO");
+  }
+  {
+    core::MutantCoverageOptions cross = mc;
+    cross.packed = !mc.packed;
+    const auto r = core::evaluate_mutant_coverage(em, cross);
+    const bool identical = r.mutants == mc_serial.mutants &&
+                           r.exposed == mc_serial.exposed &&
+                           r.equivalent == mc_serial.equivalent &&
+                           r.test_length == mc_serial.test_length &&
+                           r.exposure_latency == mc_serial.exposure_latency;
+    all_identical = all_identical && identical;
+    bench::row("packed/scalar mutant verdicts identical",
+               identical ? "yes" : "NO");
   }
 
   bench::header("Structured JSON report (parallel campaign run)");

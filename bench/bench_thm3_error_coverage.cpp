@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
   base.k_extension = 5;
   base.exclude_equivalent = true;  // fair denominator: real errors only
   base.sink = bench::sink();
+  base.packed = bench::packed();
   std::size_t tour_len = 0;
   for (const TestMethod method :
        {TestMethod::kTransitionTourSet, TestMethod::kStateTour,

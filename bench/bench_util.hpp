@@ -48,6 +48,7 @@ struct Recorder {
   std::string json_path;
   std::string store_dir;
   bool resume = false;
+  bool packed = false;
   std::vector<Section> sections;
   /// (key, raw JSON document) pairs embedded verbatim by finish().
   std::vector<std::pair<std::string, std::string>> attachments;
@@ -77,7 +78,8 @@ struct Recorder {
 }  // namespace detail
 
 /// Parses bench command-line flags (`--json <path>`, `--trace <path>`,
-/// `--perfetto <path>`, `--metrics <path>`, `--store <dir>`, `--resume`).
+/// `--perfetto <path>`, `--metrics <path>`, `--store <dir>`, `--resume`,
+/// `--packed on|off`).
 /// Exits with status 2 on anything unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
@@ -111,11 +113,19 @@ inline void init(int argc, char** argv) {
       rec.store_dir = argv[++i];
     } else if (arg == "--resume") {
       rec.resume = true;
+    } else if (arg == "--packed" && i + 1 < argc) {
+      const std::string value(argv[++i]);
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "%s: --packed expects on|off, got '%s'\n",
+                     rec.binary.c_str(), value.c_str());
+        std::exit(2);
+      }
+      rec.packed = value == "on";
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--trace <path>] "
                    "[--perfetto <path>] [--metrics <path>] "
-                   "[--store <dir>] [--resume]\n",
+                   "[--store <dir>] [--resume] [--packed on|off]\n",
                    rec.binary.c_str());
       std::exit(2);
     }
@@ -156,6 +166,12 @@ inline void init(int argc, char** argv) {
 /// True when --resume was given — plugs into CampaignOptions::resume.
 [[nodiscard]] inline bool resume() {
   return detail::Recorder::instance().resume;
+}
+
+/// True when `--packed on` was given — plugs into CampaignOptions::packed /
+/// MutantCoverageOptions::packed (the bit-parallel 64-lane replay paths).
+[[nodiscard]] inline bool packed() {
+  return detail::Recorder::instance().packed;
 }
 
 inline void header(const std::string& title) {

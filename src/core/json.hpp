@@ -3,10 +3,16 @@
 // dependencies. Keys are always literal identifiers; string *values* get
 // full RFC 8259 escaping (quotes, backslashes, and every control character
 // below 0x20, including NUL), so arbitrary bytes survive the round trip.
+// Double fields use the shortest representation that parses back to the
+// same bits (up to max_digits10 significant digits), and non-finite values
+// — which JSON cannot represent — serialize as null.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -66,7 +72,7 @@ class JsonWriter {
   JsonWriter& field(const char* key, double value) {
     sep();
     write_key(key);
-    os_ << value;
+    write_double(value);
     return *this;
   }
   /// All counters in the reports are unsigned; one template avoids the
@@ -122,6 +128,23 @@ class JsonWriter {
     first_ = false;
   }
   void write_key(const char* key) { os_ << '"' << key << "\":"; }
+  /// Shortest round-tripping decimal form: the first precision in
+  /// [1, max_digits10] whose %g rendering parses back bit-equal. NaN and
+  /// infinities have no JSON number form — they become null rather than the
+  /// bare `nan`/`inf` tokens ostream would emit (which no parser accepts).
+  void write_double(double value) {
+    if (!std::isfinite(value)) {
+      os_ << "null";
+      return;
+    }
+    char buf[40];
+    for (int prec = 1; prec <= std::numeric_limits<double>::max_digits10;
+         ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, value);
+      if (std::strtod(buf, nullptr) == value) break;
+    }
+    os_ << buf;
+  }
   void write_string(const std::string& value) {
     os_ << '"';
     for (const char c : value) {

@@ -1,6 +1,7 @@
 #include "errmodel/errmodel.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <random>
 #include <stdexcept>
 
@@ -114,6 +115,130 @@ bool exposes(const MealyMachine& spec, const Mutation& mut, StateId start,
     at_mut = tm->next;
   }
   return false;
+}
+
+PackedMutantBlock::PackedMutantBlock(const MealyMachine& spec,
+                                     std::span<const Mutation> block)
+    : spec_(&spec), size_(block.size()) {
+  if (block.size() > kLanes) {
+    throw std::invalid_argument(
+        "PackedMutantBlock: more than 64 mutants in a block");
+  }
+  state_lanes_.resize(spec.num_states(), 0);
+  for (std::size_t l = 0; l < block.size(); ++l) {
+    const Mutation& mut = block[l];
+    const auto original = spec.transition(mut.at.state, mut.at.input);
+    if (!original.has_value()) {
+      throw std::invalid_argument(
+          "PackedMutantBlock: mutated transition undefined");
+    }
+    site_state_[l] = mut.at.state;
+    site_input_[l] = mut.at.input;
+    new_next_[l] = mut.new_next;
+    new_output_[l] = mut.new_output;
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    if (mut.kind == ErrorKind::kOutput) output_kind_ |= bit;
+    // A vacuous mutation (replacement equals the original) leaves the lane
+    // behaving exactly like the spec — it can never be exposed, which is
+    // what an unregistered site yields.
+    const bool vacuous = mut.kind == ErrorKind::kOutput
+                             ? mut.new_output == original->output
+                             : mut.new_next == original->next;
+    if (!vacuous) {
+      state_lanes_[mut.at.state] |= bit;
+    }
+  }
+}
+
+std::uint64_t PackedMutantBlock::exposes(StateId start,
+                                         std::span<const InputId> inputs,
+                                         std::uint64_t active) const {
+  const std::uint64_t lane_mask =
+      size_ == kLanes ? ~std::uint64_t{0} : (std::uint64_t{1} << size_) - 1;
+  std::uint64_t undecided = active & lane_mask;
+  std::uint64_t lockstep = undecided;  // at_mut == at_spec, site not yet hit
+  std::uint64_t diverged = 0;          // transfer mutants walking on their own
+  std::uint64_t exposed = 0;
+  std::array<StateId, kLanes> at_mut{};
+  StateId at_spec = start;
+
+  const MealyMachine& spec = *spec_;
+  for (const InputId i : inputs) {
+    if (undecided == 0) break;
+    const auto ts = spec.transition(at_spec, i);
+    // Diverged lanes still pending at the start of this step; lanes that
+    // diverge on THIS step consumed input i at the site and must not also
+    // walk below.
+    const std::uint64_t walk = diverged & undecided;
+    if (!ts.has_value()) {
+      // Spec truncates here. Lockstep mutants truncate too (unexposed);
+      // a diverged mutant is exposed iff its own transition is defined
+      // (definedness mismatch).
+      for (std::uint64_t w = walk; w != 0; w &= w - 1) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(w));
+        if (spec.transition(at_mut[l], i).has_value()) {
+          exposed |= std::uint64_t{1} << l;
+        }
+      }
+      return exposed;
+    }
+    // Lockstep lanes whose mutation site is the spec's current transition:
+    // an output mutant differs right here (non-vacuous, so exposed); a
+    // transfer mutant silently branches off to its replacement state. The
+    // state-indexed mask keeps the overwhelmingly common no-site step to a
+    // single load; the input check happens per candidate lane.
+    if (const std::uint64_t in_state =
+            state_lanes_[at_spec] & lockstep & undecided;
+        in_state != 0) {
+      std::uint64_t hit = 0;
+      for (std::uint64_t w = in_state; w != 0; w &= w - 1) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(w));
+        if (site_input_[l] == i) hit |= std::uint64_t{1} << l;
+      }
+      const std::uint64_t out_hit = hit & output_kind_;
+      exposed |= out_hit;
+      undecided &= ~out_hit;
+      for (std::uint64_t w = hit & ~output_kind_; w != 0; w &= w - 1) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(w));
+        at_mut[l] = new_next_[l];
+      }
+      lockstep &= ~hit;
+      diverged |= hit & ~output_kind_;
+    }
+    // Diverged lanes advance one at a time — each is in its own state, so
+    // there is nothing word-level left to share beyond the spec's walk.
+    for (std::uint64_t w = walk & undecided; w != 0; w &= w - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(w));
+      const std::uint64_t bit = std::uint64_t{1} << l;
+      auto tm = spec.transition(at_mut[l], i);
+      if (tm.has_value() && at_mut[l] == site_state_[l] &&
+          i == site_input_[l]) {
+        if ((output_kind_ & bit) != 0) {
+          tm->output = new_output_[l];
+        } else {
+          tm->next = new_next_[l];
+        }
+      }
+      if (!tm.has_value() || tm->output != ts->output) {
+        exposed |= bit;
+        undecided &= ~bit;
+        diverged &= ~bit;
+        continue;
+      }
+      at_mut[l] = tm->next;
+    }
+    at_spec = ts->next;
+    // Reconvergence (the paper's Definition 4 masking): a diverged mutant
+    // landing back on the spec's state rejoins the lockstep herd.
+    for (std::uint64_t w = diverged & undecided; w != 0; w &= w - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(w));
+      if (at_mut[l] == at_spec) {
+        diverged &= ~(std::uint64_t{1} << l);
+        lockstep |= std::uint64_t{1} << l;
+      }
+    }
+  }
+  return exposed;
 }
 
 bool excites(const MealyMachine& mutant, const Mutation& mut, StateId start,

@@ -17,6 +17,7 @@
 // these evaluators.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -78,6 +79,49 @@ bool exposes(const fsm::MealyMachine& spec, const fsm::MealyMachine& mutant,
 /// — use this inside mutant-coverage loops.
 bool exposes(const fsm::MealyMachine& spec, const Mutation& mut,
              fsm::StateId start, std::span<const fsm::InputId> inputs);
+
+/// Bit-parallel (word-level) mutant replay: up to 64 mutants of the same
+/// specification ride in the lanes of ONE walk — the classic parallel
+/// fault-simulation trick lifted to the Mealy level. The shared
+/// specification walk advances once per step; lanes whose mutant is still
+/// in lockstep (same state as the spec) cost nothing beyond a site-mask
+/// lookup, and only lanes whose transfer mutant has diverged step
+/// individually. Lane L's verdict equals exposes(spec, block[L], start,
+/// inputs) exactly (pinned by the differential test in
+/// tests/bitparallel_test.cpp).
+class PackedMutantBlock {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  /// Indexes the block's mutation sites. The block must hold at most 64
+  /// mutations of defined transitions of `spec` (else
+  /// std::invalid_argument); both must outlive this object.
+  PackedMutantBlock(const fsm::MealyMachine& spec,
+                    std::span<const Mutation> block);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Mask of lanes (restricted to `active`) whose mutant is exposed by
+  /// running `inputs` from `start` — bit L set iff exposes(spec, block[L],
+  /// start, inputs). Lanes outside `active` are skipped entirely, so a
+  /// caller replaying many sequences can drop already-exposed lanes.
+  [[nodiscard]] std::uint64_t exposes(fsm::StateId start,
+                                      std::span<const fsm::InputId> inputs,
+                                      std::uint64_t active) const;
+
+ private:
+  const fsm::MealyMachine* spec_;
+  std::size_t size_ = 0;
+  /// Per spec state: lanes whose mutation site sits in that state (input
+  /// still checked per lane). Direct-indexed — the per-step lockstep fast
+  /// path is one load, no hashing.
+  std::vector<std::uint64_t> state_lanes_;
+  std::uint64_t output_kind_ = 0;  ///< lanes carrying output mutations
+  std::array<fsm::StateId, kLanes> site_state_{};
+  std::array<fsm::InputId, kLanes> site_input_{};
+  std::array<fsm::StateId, kLanes> new_next_{};
+  std::array<fsm::OutputId, kLanes> new_output_{};
+};
 
 /// True when the walk of `inputs` through `mutant` takes the mutated
 /// transition at least once (the error is *excited*).

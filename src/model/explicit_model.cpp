@@ -108,6 +108,49 @@ std::optional<std::uint64_t> ExplicitModel::output(std::uint64_t state,
   return static_cast<std::uint64_t>(t->output);
 }
 
+void ExplicitModel::step_batch(std::span<const std::uint64_t> states,
+                               std::span<const std::uint64_t> inputs,
+                               std::span<std::optional<std::uint64_t>> next) {
+  if (inputs.size() != states.size() || next.size() != states.size()) {
+    throw std::invalid_argument(
+        "ExplicitModel::step_batch: lane span mismatch");
+  }
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    const auto s = key_to_state_.find(states[l]);
+    const auto i = key_to_input_.find(inputs[l]);
+    if (s == key_to_state_.end() || i == key_to_input_.end()) {
+      next[l] = std::nullopt;
+      continue;
+    }
+    const auto t = machine_.transition(s->second, i->second);
+    next[l] = t.has_value() ? std::optional<std::uint64_t>(
+                                  state_keys_[t->next])
+                            : std::nullopt;
+  }
+}
+
+void ExplicitModel::output_batch(std::span<const std::uint64_t> states,
+                                 std::span<const std::uint64_t> inputs,
+                                 std::span<std::optional<std::uint64_t>> out) {
+  if (inputs.size() != states.size() || out.size() != states.size()) {
+    throw std::invalid_argument(
+        "ExplicitModel::output_batch: lane span mismatch");
+  }
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    const auto s = key_to_state_.find(states[l]);
+    const auto i = key_to_input_.find(inputs[l]);
+    if (s == key_to_state_.end() || i == key_to_input_.end()) {
+      out[l] = std::nullopt;
+      continue;
+    }
+    const auto t = machine_.transition(s->second, i->second);
+    out[l] = t.has_value()
+                 ? std::optional<std::uint64_t>(
+                       static_cast<std::uint64_t>(t->output))
+                 : std::nullopt;
+  }
+}
+
 std::vector<bool> ExplicitModel::input_vector(std::uint64_t input) const {
   const auto it = key_to_input_.find(input);
   if (it == key_to_input_.end()) {

@@ -50,6 +50,14 @@ class ExplicitModel final : public TestModel {
                                     std::uint64_t input) override;
   std::optional<std::uint64_t> output(std::uint64_t state,
                                       std::uint64_t input) override;
+  /// Batch forms resolve each lane's keys once and walk the dense
+  /// transition table directly — no per-lane virtual dispatch.
+  void step_batch(std::span<const std::uint64_t> states,
+                  std::span<const std::uint64_t> inputs,
+                  std::span<std::optional<std::uint64_t>> next) override;
+  void output_batch(std::span<const std::uint64_t> states,
+                    std::span<const std::uint64_t> inputs,
+                    std::span<std::optional<std::uint64_t>> out) override;
   [[nodiscard]] std::vector<bool> input_vector(
       std::uint64_t input) const override;
   [[nodiscard]] double count_reachable_states() override;

@@ -1,6 +1,7 @@
 #include "model/symbolic_model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <random>
 #include <stdexcept>
 
@@ -9,7 +10,7 @@
 namespace simcov::model {
 
 SymbolicModel::SymbolicModel(const sym::SequentialCircuit& circuit)
-    : fsm_(mgr_, circuit) {
+    : fsm_(mgr_, circuit), packed_(circuit) {
   if (fsm_.num_latches() > 63 || fsm_.num_inputs() > 63) {
     throw std::invalid_argument(
         "SymbolicModel: too many variables for packed 64-bit keys");
@@ -93,6 +94,55 @@ std::optional<std::uint64_t> SymbolicModel::output(std::uint64_t state,
     }
   }
   return out;
+}
+
+void SymbolicModel::step_batch(std::span<const std::uint64_t> states,
+                               std::span<const std::uint64_t> inputs,
+                               std::span<std::optional<std::uint64_t>> next) {
+  if (inputs.size() != states.size() || next.size() != states.size()) {
+    throw std::invalid_argument(
+        "SymbolicModel::step_batch: lane span mismatch");
+  }
+  std::array<std::uint64_t, sym::PackedCircuitSim::kLanes> scratch;
+  for (std::size_t base = 0; base < states.size();
+       base += sym::PackedCircuitSim::kLanes) {
+    const std::size_t lanes =
+        std::min(sym::PackedCircuitSim::kLanes, states.size() - base);
+    const std::span<std::uint64_t> block(scratch.data(), lanes);
+    const std::uint64_t valid = packed_.step(states.subspan(base, lanes),
+                                             inputs.subspan(base, lanes),
+                                             block);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      next[base + l] = ((valid >> l) & 1u) != 0
+                           ? std::optional<std::uint64_t>(block[l])
+                           : std::nullopt;
+    }
+  }
+}
+
+void SymbolicModel::output_batch(std::span<const std::uint64_t> states,
+                                 std::span<const std::uint64_t> inputs,
+                                 std::span<std::optional<std::uint64_t>> out) {
+  if (inputs.size() != states.size() || out.size() != states.size()) {
+    throw std::invalid_argument(
+        "SymbolicModel::output_batch: lane span mismatch");
+  }
+  std::array<std::uint64_t, sym::PackedCircuitSim::kLanes> next_scratch;
+  std::array<std::uint64_t, sym::PackedCircuitSim::kLanes> out_scratch;
+  for (std::size_t base = 0; base < states.size();
+       base += sym::PackedCircuitSim::kLanes) {
+    const std::size_t lanes =
+        std::min(sym::PackedCircuitSim::kLanes, states.size() - base);
+    const std::uint64_t valid =
+        packed_.step(states.subspan(base, lanes), inputs.subspan(base, lanes),
+                     std::span<std::uint64_t>(next_scratch.data(), lanes),
+                     std::span<std::uint64_t>(out_scratch.data(), lanes));
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[base + l] = ((valid >> l) & 1u) != 0
+                          ? std::optional<std::uint64_t>(out_scratch[l])
+                          : std::nullopt;
+    }
+  }
 }
 
 std::vector<bool> SymbolicModel::input_vector(std::uint64_t input) const {

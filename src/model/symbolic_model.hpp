@@ -16,6 +16,7 @@
 
 #include "bdd/bdd.hpp"
 #include "model/test_model.hpp"
+#include "sym/packed_logic_sim.hpp"
 #include "sym/symbolic_fsm.hpp"
 
 namespace simcov::model {
@@ -49,6 +50,16 @@ class SymbolicModel final : public TestModel {
                                     std::uint64_t input) override;
   std::optional<std::uint64_t> output(std::uint64_t state,
                                       std::uint64_t input) override;
+  /// Batch forms bypass the BDD evaluator entirely: one word-level pass of
+  /// the underlying circuit (sym::PackedCircuitSim) steps all lanes at
+  /// once. Answers agree lane-for-lane with step()/output() — the circuit
+  /// and its BDD view compute the same functions.
+  void step_batch(std::span<const std::uint64_t> states,
+                  std::span<const std::uint64_t> inputs,
+                  std::span<std::optional<std::uint64_t>> next) override;
+  void output_batch(std::span<const std::uint64_t> states,
+                    std::span<const std::uint64_t> inputs,
+                    std::span<std::optional<std::uint64_t>> out) override;
   [[nodiscard]] std::vector<bool> input_vector(
       std::uint64_t input) const override;
   [[nodiscard]] double count_reachable_states() override;
@@ -64,6 +75,7 @@ class SymbolicModel final : public TestModel {
 
   bdd::BddManager mgr_;
   sym::SymbolicFsm fsm_;
+  sym::PackedCircuitSim packed_;
   std::uint64_t reset_ = 0;
   std::vector<bool> assignment_;
   /// Per-state (input, successor) enumeration, memoized — the walk revisits

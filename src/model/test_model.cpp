@@ -38,6 +38,28 @@ std::unique_ptr<TourStream> TestModel::transition_tour_stream(
   return std::make_unique<MaterializedTourStream>(transition_tour(options));
 }
 
+void TestModel::step_batch(std::span<const std::uint64_t> states,
+                           std::span<const std::uint64_t> inputs,
+                           std::span<std::optional<std::uint64_t>> next) {
+  if (inputs.size() != states.size() || next.size() != states.size()) {
+    throw std::invalid_argument("TestModel::step_batch: lane span mismatch");
+  }
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    next[l] = step(states[l], inputs[l]);
+  }
+}
+
+void TestModel::output_batch(std::span<const std::uint64_t> states,
+                             std::span<const std::uint64_t> inputs,
+                             std::span<std::optional<std::uint64_t>> out) {
+  if (inputs.size() != states.size() || out.size() != states.size()) {
+    throw std::invalid_argument("TestModel::output_batch: lane span mismatch");
+  }
+  for (std::size_t l = 0; l < states.size(); ++l) {
+    out[l] = output(states[l], inputs[l]);
+  }
+}
+
 void TestModel::visit_reachable(
     std::size_t max_states,
     const std::function<void(std::uint64_t, const Edge&)>& visit) {

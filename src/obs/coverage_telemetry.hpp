@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "model/test_model.hpp"
@@ -109,6 +110,13 @@ class CoverageTelemetryCollector {
   /// that is invalid in its state (committed sequences are valid by
   /// construction, so this indicates stream corruption).
   void commit_sequence(const std::vector<std::vector<bool>>& steps);
+
+  /// Batch form: replays every sequence of `batch` lane-parallel through
+  /// TestModel::step_batch (one word-level pass advances up to 64 sequences
+  /// per call), then folds the recorded traces into the tracker strictly in
+  /// batch order — the resulting telemetry (convergence points included) is
+  /// byte-identical to calling commit_sequence on each element in turn.
+  void commit_batch(std::span<const std::vector<std::vector<bool>>> batch);
 
   [[nodiscard]] std::uint64_t committed() const { return committed_; }
 

@@ -229,6 +229,11 @@ std::vector<std::vector<const MetricEntry<Value>*>> group_by_name(
 
 std::string write_prometheus_text(const MetricsSummary& summary) {
   std::ostringstream os;
+  // Prometheus text values must survive a parse back into float64. Today's
+  // summaries are all integers (unaffected by stream precision), but any
+  // floating-point series added later would otherwise be silently rounded
+  // to ostream's default 6 significant digits.
+  os.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& group : group_by_name(summary.counters)) {
     const std::string name = sanitize_metric_name(group.front()->name);
     os << "# TYPE " << name << "_total counter\n";

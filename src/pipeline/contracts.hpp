@@ -192,6 +192,11 @@ struct CampaignOptions {
   bool collect_coverage_telemetry = false;
   /// Point budget of the downsampled convergence curve.
   std::size_t telemetry_curve_budget = 512;
+  /// Replay committed sequences for coverage telemetry through the
+  /// bit-parallel batch path (TestModel::step_batch — 64 sequences per
+  /// word-level pass) instead of one scalar step() per cycle. A throughput
+  /// knob only: reports are byte-identical either way.
+  bool packed = false;
 
   // ---- Artifact store (content-addressed caching + checkpoint/resume) ----
   /// Directory of the artifact store. Empty: no store — no caching, no
@@ -294,6 +299,11 @@ struct MutantCoverageOptions {
   /// Worker threads for the per-mutant replay loop (0 = one per hardware
   /// thread). Results are identical at any setting.
   std::size_t threads = 0;
+  /// Replay mutants through errmodel::PackedMutantBlock — 64 mutants share
+  /// the lanes of one specification walk per block instead of one scalar
+  /// exposes() walk each. A throughput knob only: verdicts, latencies and
+  /// reports are byte-identical to the scalar path at any thread count.
+  bool packed = false;
 
   // ---- Pipeline knobs -----------------------------------------------------
   /// Instrumentation sink (see CampaignOptions::sink).

@@ -225,8 +225,17 @@ CampaignResult ValidationPipeline::run(
       result.test_length += batch[i].size();
       result.total_instructions += batch_programs[i].instructions.size();
       result.clean_runs.push_back(batch_runs[i]);
-      if (telemetry.has_value()) telemetry->commit_sequence(batch[i]);
+      if (telemetry.has_value() && !options_.packed) {
+        telemetry->commit_sequence(batch[i]);
+      }
       programs.push_back(std::move(batch_programs[i]));
+    }
+    // Packed telemetry replays the whole committed batch through the
+    // bit-parallel batch stepper at once; the collector folds in batch
+    // order, so the telemetry section stays byte-identical to the scalar
+    // per-sequence commit above.
+    if (telemetry.has_value() && options_.packed) {
+      telemetry->commit_batch(batch);
     }
 
     // Periodic checkpoint of the committed prefix. Restored batches only

@@ -86,6 +86,13 @@ SignalId LogicNetwork::make_eq(std::span<const SignalId> a,
 
 SignalId LogicNetwork::make_eq_const(std::span<const SignalId> a,
                                      std::uint64_t value) {
+  // Bits of `value` at or above the vector's width used to be silently
+  // dropped, so make_eq_const(a, (1 << n) + k) matched k. Over-width
+  // constants can never be equal to the vector — reject them.
+  if (a.size() < 64 && (value >> a.size()) != 0) {
+    throw std::invalid_argument(
+        "make_eq_const: constant does not fit the bit-vector width");
+  }
   SignalId acc = constant(true);
   for (std::size_t k = 0; k < a.size(); ++k) {
     const bool bit = (value >> k) & 1u;

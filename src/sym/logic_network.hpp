@@ -49,6 +49,8 @@ class LogicNetwork {
   /// 1 iff bit-vectors a and b are equal (same length required).
   SignalId make_eq(std::span<const SignalId> a, std::span<const SignalId> b);
   /// 1 iff the bit-vector equals the little-endian constant `value`.
+  /// Throws std::invalid_argument when `value` has bits at or above
+  /// a.size() — an over-width constant can never match.
   SignalId make_eq_const(std::span<const SignalId> a, std::uint64_t value);
 
   [[nodiscard]] std::size_t num_signals() const { return gates_.size(); }

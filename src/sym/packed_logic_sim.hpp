@@ -1,0 +1,95 @@
+// Bit-parallel (word-level) evaluation of combinational logic networks.
+//
+// The classic fault-simulation trick [ROADMAP: "Bit-parallel and sharded
+// simulation"]: a signal's value for 64 independent simulations is packed
+// into one std::uint64_t — bit L of every word is lane L's run — so one
+// pass of word ops (~, &, |, ^) evaluates the whole network for 64 input
+// vectors at once. PackedLogicSim levelizes the gate DAG once at
+// construction and replays the level-ordered schedule on every eval; the
+// schedule is a topological order, so packed lane L computes exactly what
+// LogicNetwork::eval_into would compute for lane L's scalar inputs (the
+// randomized differential test in tests/bitparallel_test.cpp pins this).
+//
+// PackedCircuitSim lifts the same trick to a SequentialCircuit: each lane
+// is an independent (state, input) pair in the packed 64-bit key encoding
+// of model::TestModel, so batch stepping 64 test-model sequences costs one
+// network pass instead of 64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sym/logic_network.hpp"
+#include "sym/symbolic_fsm.hpp"
+
+namespace simcov::sym {
+
+class PackedLogicSim {
+ public:
+  /// Lanes per machine word; partial blocks simply leave high lanes unused.
+  static constexpr std::size_t kLanes = 64;
+
+  /// Levelizes `net` (inputs and constants at level 0, every other gate one
+  /// past its deepest operand). The network must outlive the simulator.
+  explicit PackedLogicSim(const LogicNetwork& net);
+
+  [[nodiscard]] const LogicNetwork& network() const { return *net_; }
+  /// Depth of the levelized DAG (0 for a network of bare inputs/constants).
+  [[nodiscard]] std::size_t num_levels() const { return num_levels_; }
+  [[nodiscard]] std::size_t level(SignalId s) const { return levels_[s]; }
+
+  /// Evaluates all 64 lanes: `input_words[k]` carries the lane values of
+  /// input k (bit L = lane L), `values` is resized to num_signals() and
+  /// filled with one lane word per signal. Lanes beyond the ones the caller
+  /// packed compute garbage-in/garbage-out and are simply ignored on
+  /// readback. Throws std::invalid_argument on an input-count mismatch.
+  void eval_into(std::span<const std::uint64_t> input_words,
+                 std::vector<std::uint64_t>& values) const;
+
+  /// Packs per-lane booleans into a lane word (bit L = lanes[L]).
+  [[nodiscard]] static std::uint64_t pack_lanes(std::span<const bool> lanes);
+
+ private:
+  const LogicNetwork* net_;
+  std::vector<std::uint32_t> levels_;    // per signal
+  std::vector<SignalId> schedule_;       // level-major topological order
+  std::size_t num_levels_ = 0;
+};
+
+/// Word-level batch stepper for a SequentialCircuit: every lane is one
+/// independent (state, input) pair, packed little-endian into 64-bit keys
+/// exactly as model::TestModel does. Stateless between calls — latches are
+/// part of the per-lane state keys the caller threads through.
+class PackedCircuitSim {
+ public:
+  static constexpr std::size_t kLanes = PackedLogicSim::kLanes;
+
+  /// The circuit must outlive the simulator. Throws std::invalid_argument
+  /// beyond 63 latches / primary inputs (the packed-key limit) or when a
+  /// network input is neither a latch's current signal nor a declared
+  /// primary input. Reading outputs additionally requires at most 63
+  /// output signals (checked per step() call, like SymbolicModel::output).
+  explicit PackedCircuitSim(const SequentialCircuit& circuit);
+
+  /// Steps lanes [0, states.size()) once: lane L starts in state key
+  /// states[L] and consumes input key inputs[L]. Returns the mask of lanes
+  /// whose (state, input) satisfies the circuit's validity constraint;
+  /// next[L] and (when `outputs` is non-empty) outputs[L] are filled for
+  /// valid lanes only. Spans must agree in size (at most kLanes).
+  std::uint64_t step(std::span<const std::uint64_t> states,
+                     std::span<const std::uint64_t> inputs,
+                     std::span<std::uint64_t> next,
+                     std::span<std::uint64_t> outputs = {}) const;
+
+ private:
+  const SequentialCircuit* circuit_;
+  PackedLogicSim sim_;
+  /// Per network input: latch index (is_latch_) or primary-input index.
+  std::vector<std::uint32_t> source_index_;
+  std::vector<bool> is_latch_;
+  mutable std::vector<std::uint64_t> input_words_;  // reused scratch
+  mutable std::vector<std::uint64_t> values_;       // reused scratch
+};
+
+}  // namespace simcov::sym

@@ -4,8 +4,8 @@
 
 namespace simcov::testmodel {
 
-ControlModelSim::ControlModelSim(const BuiltTestModel& model) : model_(model) {
-  const auto& c = model_.circuit;
+std::vector<InputRole> classify_network_inputs(const BuiltTestModel& model) {
+  const auto& c = model.circuit;
   // Classify every network input as latch or primary input, by signal id.
   std::map<sym::SignalId, std::size_t> latch_of;
   for (std::size_t j = 0; j < c.latches.size(); ++j) {
@@ -16,34 +16,35 @@ ControlModelSim::ControlModelSim(const BuiltTestModel& model) : model_(model) {
   for (std::size_t k = 0; k < net_inputs.size(); ++k) {
     pi_name[net_inputs[k]] = c.net.input_name(k);
   }
-  auto parse_pi = [](const std::string& name, Role& role) {
+  auto parse_pi = [](const std::string& name, InputRole& role) {
     auto suffix_bits = [&](std::size_t prefix_len) {
       return static_cast<unsigned>(std::stoul(name.substr(prefix_len)));
     };
     if (name == "branch_outcome") {
-      role.pi_kind = PiKind::kBranchOutcome;
+      role.pi_kind = InputRole::Pi::kBranchOutcome;
     } else if (name == "instr_valid") {
-      role.pi_kind = PiKind::kInstrValid;
+      role.pi_kind = InputRole::Pi::kInstrValid;
     } else if (name.rfind("op", 0) == 0) {
-      role.pi_kind = PiKind::kOpBit;
+      role.pi_kind = InputRole::Pi::kOpBit;
       role.pi_bit = suffix_bits(2);
     } else if (name.rfind("rs1_", 0) == 0) {
-      role.pi_kind = PiKind::kRs1Bit;
+      role.pi_kind = InputRole::Pi::kRs1Bit;
       role.pi_bit = suffix_bits(4);
     } else if (name.rfind("rs2_", 0) == 0) {
-      role.pi_kind = PiKind::kRs2Bit;
+      role.pi_kind = InputRole::Pi::kRs2Bit;
       role.pi_bit = suffix_bits(4);
     } else if (name.rfind("rd_", 0) == 0) {
-      role.pi_kind = PiKind::kRdBit;
+      role.pi_kind = InputRole::Pi::kRdBit;
       role.pi_bit = suffix_bits(3);
     } else {
       throw std::logic_error("ControlModelSim: unmapped primary input " +
                              name);
     }
   };
-  roles_.reserve(net_inputs.size());
+  std::vector<InputRole> roles;
+  roles.reserve(net_inputs.size());
   for (sym::SignalId s : net_inputs) {
-    Role role;
+    InputRole role;
     const auto it = latch_of.find(s);
     if (it != latch_of.end()) {
       role.is_latch = true;
@@ -51,8 +52,35 @@ ControlModelSim::ControlModelSim(const BuiltTestModel& model) : model_(model) {
     } else {
       parse_pi(pi_name[s], role);
     }
-    roles_.push_back(role);
+    roles.push_back(role);
   }
+  return roles;
+}
+
+bool role_pi_value(const InputRole& role, const ControlInput& in,
+                   bool onehot) {
+  const unsigned cls_value = static_cast<unsigned>(in.cls);
+  switch (role.pi_kind) {
+    case InputRole::Pi::kOpBit:
+      return onehot ? (role.pi_bit == cls_value)
+                    : (((cls_value >> role.pi_bit) & 1u) != 0);
+    case InputRole::Pi::kRs1Bit:
+      return ((in.rs1 >> role.pi_bit) & 1u) != 0;
+    case InputRole::Pi::kRs2Bit:
+      return ((in.rs2 >> role.pi_bit) & 1u) != 0;
+    case InputRole::Pi::kRdBit:
+      return ((in.rd >> role.pi_bit) & 1u) != 0;
+    case InputRole::Pi::kBranchOutcome:
+      return in.branch_outcome;
+    case InputRole::Pi::kInstrValid:
+      return in.instr_valid;
+  }
+  return false;
+}
+
+ControlModelSim::ControlModelSim(const BuiltTestModel& model) : model_(model) {
+  const auto& c = model_.circuit;
+  roles_ = classify_network_inputs(model_);
   for (std::size_t k = 0; k < c.outputs.size(); ++k) {
     output_index_[c.outputs[k].first] = k;
   }
@@ -70,34 +98,11 @@ void ControlModelSim::reset() {
 
 void ControlModelSim::fill_network_inputs(const ControlInput& in) const {
   const bool onehot = model_.options.onehot_opclass;
-  const unsigned cls_value = static_cast<unsigned>(in.cls);
   for (std::size_t k = 0; k < roles_.size(); ++k) {
-    const Role& role = roles_[k];
-    if (role.is_latch) {
-      input_scratch_[k] = latches_[role.latch_index];
-      continue;
-    }
-    switch (role.pi_kind) {
-      case PiKind::kOpBit:
-        input_scratch_[k] = onehot ? (role.pi_bit == cls_value)
-                                   : (((cls_value >> role.pi_bit) & 1u) != 0);
-        break;
-      case PiKind::kRs1Bit:
-        input_scratch_[k] = ((in.rs1 >> role.pi_bit) & 1u) != 0;
-        break;
-      case PiKind::kRs2Bit:
-        input_scratch_[k] = ((in.rs2 >> role.pi_bit) & 1u) != 0;
-        break;
-      case PiKind::kRdBit:
-        input_scratch_[k] = ((in.rd >> role.pi_bit) & 1u) != 0;
-        break;
-      case PiKind::kBranchOutcome:
-        input_scratch_[k] = in.branch_outcome;
-        break;
-      case PiKind::kInstrValid:
-        input_scratch_[k] = in.instr_valid;
-        break;
-    }
+    const InputRole& role = roles_[k];
+    input_scratch_[k] = role.is_latch ? static_cast<bool>(
+                                            latches_[role.latch_index])
+                                      : role_pi_value(role, in, onehot);
   }
 }
 

@@ -28,6 +28,30 @@ struct ControlInput {
   bool instr_valid = true;  ///< only meaningful with a fetch controller
 };
 
+/// How one network input of a built control model is driven: either from a
+/// latch (by latch index) or from a field of the decoded ControlInput.
+/// Shared between the scalar ControlModelSim and the 64-lane
+/// PackedControlModelSim so the two fill network inputs identically.
+struct InputRole {
+  enum class Pi : std::uint8_t {
+    kOpBit, kRs1Bit, kRs2Bit, kRdBit, kBranchOutcome, kInstrValid,
+  };
+  bool is_latch = false;
+  std::size_t latch_index = 0;  ///< when is_latch
+  Pi pi_kind = Pi::kOpBit;
+  unsigned pi_bit = 0;
+};
+
+/// Classifies every network input of the model's circuit, in network input
+/// order, by latch signal id or primary-input name. Throws std::logic_error
+/// on an unmapped primary-input name.
+std::vector<InputRole> classify_network_inputs(const BuiltTestModel& model);
+
+/// Value a non-latch role takes for the decoded input `in`. `onehot`
+/// follows TestModelOptions::onehot_opclass.
+[[nodiscard]] bool role_pi_value(const InputRole& role, const ControlInput& in,
+                                 bool onehot);
+
 class ControlModelSim {
  public:
   explicit ControlModelSim(const BuiltTestModel& model);
@@ -59,20 +83,10 @@ class ControlModelSim {
   }
 
  private:
-  enum class PiKind : std::uint8_t {
-    kOpBit, kRs1Bit, kRs2Bit, kRdBit, kBranchOutcome, kInstrValid,
-  };
-  struct Role {
-    bool is_latch = false;
-    std::size_t latch_index = 0;  // when is_latch
-    PiKind pi_kind = PiKind::kOpBit;
-    unsigned pi_bit = 0;
-  };
-
   void fill_network_inputs(const ControlInput& in) const;
 
   const BuiltTestModel& model_;
-  std::vector<Role> roles_;
+  std::vector<InputRole> roles_;
   std::vector<bool> latches_;
   std::vector<bool> last_outputs_;           // by output index
   std::map<std::string, std::size_t> output_index_;

@@ -1,0 +1,428 @@
+// Differential tests for the bit-parallel (64-lane) simulation paths.
+//
+// Every packed component here has a scalar twin that predates it; the
+// contract is always the same — lane L of the packed run must equal the
+// scalar run of lane L's inputs, bit for bit. The suites below pin that
+// contract with randomized differentials (including partial final blocks
+// of fewer than 64 lanes) for:
+//
+//   * sym::PackedLogicSim            vs LogicNetwork::eval_into
+//   * model step_batch/output_batch  vs scalar step/output (both backends)
+//   * testmodel::PackedControlModelSim vs ControlModelSim
+//   * errmodel::PackedMutantBlock    vs scalar exposes()
+//   * MutantCoverageOptions::packed  vs the scalar replay loop
+//   * CampaignOptions::packed        vs the scalar campaign (byte-identical
+//                                    report JSON at 1/2/8 threads)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "errmodel/errmodel.hpp"
+#include "fsm/mealy.hpp"
+#include "model/explicit_model.hpp"
+#include "model/symbolic_model.hpp"
+#include "sym/packed_logic_sim.hpp"
+#include "testmodel/control_sim.hpp"
+#include "testmodel/packed_control_sim.hpp"
+#include "testmodel/testmodel.hpp"
+#include "tour/tour.hpp"
+
+namespace simcov {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PackedLogicSim vs LogicNetwork::eval_into
+// ---------------------------------------------------------------------------
+
+/// Random gate soup: `num_gates` gates drawn over the growing signal pool,
+/// so deep and wide structures both occur.
+sym::LogicNetwork random_network(std::mt19937_64& rng, std::size_t num_inputs,
+                                 std::size_t num_gates) {
+  sym::LogicNetwork net;
+  std::vector<sym::SignalId> pool;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    pool.push_back(net.add_input("in" + std::to_string(i)));
+  }
+  pool.push_back(net.constant(false));
+  pool.push_back(net.constant(true));
+  const auto pick = [&] { return pool[rng() % pool.size()]; };
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    sym::SignalId s = 0;
+    switch (rng() % 5) {
+      case 0: s = net.make_not(pick()); break;
+      case 1: s = net.make_and(pick(), pick()); break;
+      case 2: s = net.make_or(pick(), pick()); break;
+      case 3: s = net.make_xor(pick(), pick()); break;
+      default: s = net.make_mux(pick(), pick(), pick()); break;
+    }
+    pool.push_back(s);
+  }
+  return net;
+}
+
+TEST(PackedLogicSim, MatchesScalarEvalOnRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 rng(seed);
+    const auto net = random_network(rng, 3 + rng() % 8, 64 + rng() % 256);
+    const sym::PackedLogicSim packed(net);
+
+    // 64 random scalar input vectors, one per lane.
+    std::vector<std::vector<bool>> lane_inputs(sym::PackedLogicSim::kLanes);
+    for (auto& in : lane_inputs) {
+      in.resize(net.num_inputs());
+      for (std::size_t k = 0; k < in.size(); ++k) in[k] = (rng() & 1) != 0;
+    }
+    std::vector<std::uint64_t> input_words(net.num_inputs(), 0);
+    for (std::size_t k = 0; k < net.num_inputs(); ++k) {
+      for (std::size_t l = 0; l < lane_inputs.size(); ++l) {
+        if (lane_inputs[l][k]) input_words[k] |= std::uint64_t{1} << l;
+      }
+    }
+
+    std::vector<std::uint64_t> packed_values;
+    packed.eval_into(input_words, packed_values);
+
+    std::vector<bool> scalar_values;
+    for (std::size_t l = 0; l < lane_inputs.size(); ++l) {
+      net.eval_into(lane_inputs[l], scalar_values);
+      for (sym::SignalId s = 0; s < net.num_signals(); ++s) {
+        ASSERT_EQ(((packed_values[s] >> l) & 1u) != 0, scalar_values[s])
+            << "seed=" << seed << " lane=" << l << " signal=" << s;
+      }
+    }
+  }
+}
+
+TEST(PackedLogicSim, LevelizationIsTopological) {
+  std::mt19937_64 rng(99);
+  const auto net = random_network(rng, 5, 200);
+  const sym::PackedLogicSim packed(net);
+  for (sym::SignalId s = 0; s < net.num_signals(); ++s) {
+    const auto g = net.gate(s);
+    switch (g.op) {
+      case sym::GateOp::kInput:
+      case sym::GateOp::kConst:
+        EXPECT_EQ(packed.level(s), 0u);
+        break;
+      case sym::GateOp::kNot:
+        EXPECT_GT(packed.level(s), packed.level(g.a));
+        break;
+      case sym::GateOp::kAnd:
+      case sym::GateOp::kOr:
+      case sym::GateOp::kXor:
+        EXPECT_GT(packed.level(s), packed.level(g.a));
+        EXPECT_GT(packed.level(s), packed.level(g.b));
+        break;
+      case sym::GateOp::kMux:
+        EXPECT_GT(packed.level(s), packed.level(g.a));
+        EXPECT_GT(packed.level(s), packed.level(g.b));
+        EXPECT_GT(packed.level(s), packed.level(g.c));
+        break;
+    }
+    EXPECT_LE(packed.level(s), packed.num_levels());
+  }
+}
+
+TEST(PackedLogicSim, PackLanesRoundTrips) {
+  const bool lanes[]{true, false, true, true, false};
+  const std::uint64_t word = sym::PackedLogicSim::pack_lanes(lanes);
+  EXPECT_EQ(word, 0b01101u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch model stepping vs scalar step/output
+// ---------------------------------------------------------------------------
+
+testmodel::TestModelOptions tiny_model_options() {
+  testmodel::TestModelOptions opt;
+  opt.output_sync_latches = false;
+  opt.fetch_controller = false;
+  opt.aux_outputs = false;
+  opt.onehot_opclass = false;
+  opt.interlock_registers = false;
+  opt.reg_addr_bits = 1;
+  opt.reduced_isa = true;
+  return opt;
+}
+
+/// Random (state, input) key pairs covering valid and invalid
+/// combinations, deliberately NOT a multiple of 64 so the final packed
+/// block is partial.
+void random_keys(std::mt19937_64& rng, unsigned state_bits,
+                 unsigned input_bits, std::size_t count,
+                 std::vector<std::uint64_t>& states,
+                 std::vector<std::uint64_t>& inputs) {
+  const std::uint64_t smask = (std::uint64_t{1} << state_bits) - 1;
+  const std::uint64_t imask = (std::uint64_t{1} << input_bits) - 1;
+  states.resize(count);
+  inputs.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    states[i] = rng() & smask;
+    inputs[i] = rng() & imask;
+  }
+}
+
+void expect_batch_matches_scalar(model::TestModel& model, std::size_t count,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> states, inputs;
+  random_keys(rng, model.state_bits(), model.input_bits(), count, states,
+              inputs);
+
+  std::vector<std::optional<std::uint64_t>> next(count), out(count);
+  model.step_batch(states, inputs, next);
+  model.output_batch(states, inputs, out);
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(next[i], model.step(states[i], inputs[i])) << "pair " << i;
+    ASSERT_EQ(out[i], model.output(states[i], inputs[i])) << "pair " << i;
+  }
+}
+
+TEST(BatchStepping, SymbolicModelMatchesScalarIncludingPartialBlock) {
+  const auto built = testmodel::build_dlx_control_model(tiny_model_options());
+  model::SymbolicModel model(built.circuit);
+  // 3 full blocks plus a 21-lane partial one.
+  expect_batch_matches_scalar(model, 3 * 64 + 21, 11);
+}
+
+TEST(BatchStepping, SymbolicModelHandlesTinySpans) {
+  const auto built = testmodel::build_dlx_control_model(tiny_model_options());
+  model::SymbolicModel model(built.circuit);
+  expect_batch_matches_scalar(model, 1, 12);
+  expect_batch_matches_scalar(model, 63, 13);
+}
+
+TEST(BatchStepping, ExplicitModelMatchesScalar) {
+  const auto m = fsm::random_connected_machine(24, 3, 4, 17);
+  model::ExplicitModel model(m, 0);
+  expect_batch_matches_scalar(model, 150, 18);
+}
+
+TEST(BatchStepping, MismatchedSpansThrow) {
+  const auto m = fsm::random_connected_machine(8, 2, 2, 5);
+  model::ExplicitModel model(m, 0);
+  std::vector<std::uint64_t> states(4, 0), inputs(3, 0);
+  std::vector<std::optional<std::uint64_t>> next(4);
+  EXPECT_THROW(model.step_batch(states, inputs, next), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PackedControlModelSim vs ControlModelSim
+// ---------------------------------------------------------------------------
+
+testmodel::ControlInput random_control_input(std::mt19937_64& rng,
+                                             unsigned reg_addr_bits) {
+  static constexpr dlx::OpClass kClasses[] = {
+      dlx::OpClass::kNop,  dlx::OpClass::kAlu,    dlx::OpClass::kAluImm,
+      dlx::OpClass::kLoad, dlx::OpClass::kStore,  dlx::OpClass::kBranch,
+  };
+  testmodel::ControlInput in;
+  in.cls = kClasses[rng() % std::size(kClasses)];
+  const unsigned mask = (1u << reg_addr_bits) - 1;
+  in.rs1 = static_cast<unsigned>(rng()) & mask;
+  in.rs2 = static_cast<unsigned>(rng()) & mask;
+  in.rd = static_cast<unsigned>(rng()) & mask;
+  in.branch_outcome = (rng() & 1) != 0;
+  in.instr_valid = true;
+  return in;
+}
+
+TEST(PackedControlSim, MatchesScalarControlSimLaneForLane) {
+  const auto opt = tiny_model_options();
+  const auto built = testmodel::build_dlx_control_model(opt);
+  constexpr std::size_t kTestLanes = 37;  // deliberately a partial block
+  constexpr std::size_t kSteps = 40;
+
+  std::vector<testmodel::ControlModelSim> scalars;
+  scalars.reserve(kTestLanes);
+  for (std::size_t l = 0; l < kTestLanes; ++l) scalars.emplace_back(built);
+  testmodel::PackedControlModelSim packed(built);
+  packed.reset();
+
+  std::mt19937_64 rng(23);
+  std::vector<testmodel::ControlInput> lane_inputs(kTestLanes);
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    for (std::size_t l = 0; l < kTestLanes; ++l) {
+      // Draw until valid for this lane's current state, so neither
+      // simulator throws and the walks stay in lockstep.
+      do {
+        lane_inputs[l] = random_control_input(rng, opt.reg_addr_bits);
+      } while (!scalars[l].input_valid(lane_inputs[l]));
+    }
+    packed.step(lane_inputs);
+    for (std::size_t l = 0; l < kTestLanes; ++l) {
+      scalars[l].step_fast(lane_inputs[l]);
+      const auto& latches = scalars[l].latch_values();
+      for (std::size_t j = 0; j < latches.size(); ++j) {
+        ASSERT_EQ(packed.latch(l, j), latches[j])
+            << "step=" << step << " lane=" << l << " latch=" << j;
+      }
+    }
+  }
+  // Output words agree with the scalar sims' last outputs, by index.
+  const auto& one = scalars.front();
+  const std::size_t num_outputs = built.num_outputs;
+  for (std::size_t k = 0; k < num_outputs; ++k) {
+    for (std::size_t l = 0; l < kTestLanes; ++l) {
+      ASSERT_EQ(packed.out_at(l, k), scalars[l].out_at(k))
+          << "lane=" << l << " output=" << k;
+    }
+  }
+  // Name resolution agrees between the two simulators.
+  (void)one;
+  EXPECT_EQ(packed.output_index("stall"), one.output_index("stall"));
+}
+
+// ---------------------------------------------------------------------------
+// PackedMutantBlock vs scalar exposes()
+// ---------------------------------------------------------------------------
+
+TEST(PackedMutantBlock, MatchesScalarExposesPerSequence) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto m = fsm::random_connected_machine(30, 4, 5, seed);
+    const auto mutants = errmodel::sample_mutations(
+        m, 0, m.output_alphabet_size(), 100, seed + 100);
+    ASSERT_FALSE(mutants.empty());
+
+    // Test sequences: the transition tour set plus short random walks.
+    auto set = tour::greedy_transition_tour_set(m, 0);
+    ASSERT_TRUE(set.has_value());
+    std::vector<std::vector<fsm::InputId>> sequences = set->sequences;
+    std::mt19937_64 rng(seed + 7);
+    for (int w = 0; w < 10; ++w) {
+      std::vector<fsm::InputId> walk;
+      for (int s = 0; s < 12; ++s) {
+        walk.push_back(static_cast<fsm::InputId>(rng() % m.num_inputs()));
+      }
+      sequences.push_back(std::move(walk));
+    }
+
+    for (std::size_t base = 0; base < mutants.size();
+         base += errmodel::PackedMutantBlock::kLanes) {
+      const std::size_t len = std::min(errmodel::PackedMutantBlock::kLanes,
+                                       mutants.size() - base);
+      const errmodel::PackedMutantBlock block(
+          m, std::span(mutants).subspan(base, len));
+      const std::uint64_t all =
+          len == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << len) - 1;
+      for (std::size_t s = 0; s < sequences.size(); ++s) {
+        const std::uint64_t mask = block.exposes(0, sequences[s], all);
+        for (std::size_t l = 0; l < len; ++l) {
+          const bool scalar =
+              errmodel::exposes(m, mutants[base + l], 0, sequences[s]);
+          ASSERT_EQ(((mask >> l) & 1u) != 0, scalar)
+              << "seed=" << seed << " mutant=" << base + l << " seq=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedMutantBlock, ActiveMaskSkipsLanes) {
+  const auto m = fsm::random_connected_machine(16, 3, 3, 2);
+  const auto mutants =
+      errmodel::sample_mutations(m, 0, m.output_alphabet_size(), 20, 3);
+  ASSERT_GE(mutants.size(), 2u);
+  auto set = tour::greedy_transition_tour_set(m, 0);
+  ASSERT_TRUE(set.has_value());
+  const errmodel::PackedMutantBlock block(m, mutants);
+  const auto& seq = set->sequences.front();
+  const std::uint64_t full = block.exposes(
+      0, seq, mutants.size() == 64 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << mutants.size()) - 1);
+  // Restricting to one lane returns at most that lane's bit.
+  for (std::size_t l = 0; l < mutants.size(); ++l) {
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    EXPECT_EQ(block.exposes(0, seq, bit), full & bit) << "lane=" << l;
+  }
+  EXPECT_EQ(block.exposes(0, seq, 0), 0u);
+}
+
+TEST(PackedMutantBlock, RejectsOversizedAndUndefinedSiteBlocks) {
+  const auto m = fsm::random_connected_machine(8, 2, 2, 4);
+  std::vector<errmodel::Mutation> block(65);
+  for (auto& mut : block) {
+    mut.at = fsm::TransitionRef{0, 0};
+    mut.kind = errmodel::ErrorKind::kOutput;
+    mut.new_output = 1;
+  }
+  EXPECT_THROW(errmodel::PackedMutantBlock(m, block), std::invalid_argument);
+
+  fsm::MealyMachine partial(2, 2);
+  partial.set_transition(0, 0, 1, 0);  // (1, *) and (0, 1) stay undefined
+  std::vector<errmodel::Mutation> bad(1);
+  bad[0].at = fsm::TransitionRef{1, 1};
+  EXPECT_THROW(errmodel::PackedMutantBlock(partial, bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Packed replay / campaign end-to-end identity
+// ---------------------------------------------------------------------------
+
+TEST(PackedReplay, MutantCoverageIdenticalToScalarAtAnyThreadCount) {
+  const auto m = fsm::random_connected_machine(24, 3, 4, 21);
+  model::ExplicitModel model(m, 0);
+  core::MutantCoverageOptions scalar;
+  scalar.mutant_sample = 150;
+  scalar.k_extension = 3;
+  scalar.exclude_equivalent = true;
+  scalar.threads = 1;
+  const auto reference = core::evaluate_mutant_coverage(model, scalar);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    core::MutantCoverageOptions packed = scalar;
+    packed.packed = true;
+    packed.threads = threads;
+    const auto r = core::evaluate_mutant_coverage(model, packed);
+    EXPECT_EQ(r.mutants, reference.mutants) << "threads=" << threads;
+    EXPECT_EQ(r.exposed, reference.exposed) << "threads=" << threads;
+    EXPECT_EQ(r.equivalent, reference.equivalent) << "threads=" << threads;
+    EXPECT_EQ(r.sequences, reference.sequences) << "threads=" << threads;
+    EXPECT_EQ(r.test_length, reference.test_length) << "threads=" << threads;
+    EXPECT_EQ(r.exposure_latency, reference.exposure_latency)
+        << "threads=" << threads;
+  }
+}
+
+/// Campaign result with wall-clock noise erased (timings and latency
+/// histograms); coverage_telemetry is deterministic and stays in.
+std::string semantic_fingerprint(core::CampaignResult result) {
+  result.timings = {};
+  result.bdd_stats.reset();
+  result.symbolic_stats.reset();
+  result.store_stats.reset();
+  result.metrics.reset();
+  return core::to_json(result);
+}
+
+TEST(PackedReplay, CampaignReportByteIdenticalToScalarAt128Threads) {
+  core::CampaignOptions scalar;
+  scalar.model_options = tiny_model_options();
+  scalar.method = core::TestMethod::kTransitionTourSet;
+  scalar.threads = 1;
+  scalar.collect_coverage_telemetry = true;
+  const std::vector<dlx::PipelineBug> bugs{dlx::PipelineBug::kNoLoadUseStall};
+  const std::string reference =
+      semantic_fingerprint(core::run_campaign(scalar, bugs));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    core::CampaignOptions packed = scalar;
+    packed.packed = true;
+    packed.threads = threads;
+    EXPECT_EQ(semantic_fingerprint(core::run_campaign(packed, bugs)),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace simcov

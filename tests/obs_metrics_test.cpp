@@ -15,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -269,6 +270,52 @@ TEST(CoverageTelemetryCollector, ReplayMatchesTheModelsOwnTourAccounting) {
       << "the collector leaves exposure latency to the pipeline";
 }
 
+TEST(CoverageTelemetryCollector, BatchCommitIsByteIdenticalToSequential) {
+  const auto m = fsm::random_connected_machine(24, 3, 4, 17);
+  model::ExplicitModel tour_model(m, 0);
+  auto stream = tour_model.transition_tour_stream();
+  std::vector<std::vector<std::vector<bool>>> sequences;
+  while (auto seq = stream->next_sequence()) sequences.push_back(*seq);
+  ASSERT_FALSE(sequences.empty());
+
+  model::ExplicitModel scalar_model(m, 0);
+  obs::CoverageTelemetryCollector scalar(scalar_model, 64);
+  for (const auto& seq : sequences) scalar.commit_sequence(seq);
+
+  // The batch path replays lane-parallel but folds in batch order; the
+  // telemetry — convergence points included — must not move. Mixed batch
+  // sizes cover full, partial and single-sequence blocks.
+  model::ExplicitModel batch_model(m, 0);
+  obs::CoverageTelemetryCollector batch(batch_model, 64);
+  std::size_t at = 0;
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{128}}) {
+    if (at >= sequences.size()) break;
+    const std::size_t len = std::min(chunk, sequences.size() - at);
+    batch.commit_batch(std::span(sequences).subspan(at, len));
+    at += len;
+  }
+  if (at < sequences.size()) {
+    batch.commit_batch(std::span(sequences).subspan(at));
+  }
+
+  EXPECT_EQ(batch.committed(), scalar.committed());
+  const auto a = scalar.snapshot();
+  const auto b = batch.snapshot();
+  EXPECT_EQ(b.convergence, a.convergence);
+  EXPECT_EQ(b.distinct_transitions, a.distinct_transitions);
+  EXPECT_EQ(b.max_transition_hits, a.max_transition_hits);
+  EXPECT_EQ(b.transition_hits, a.transition_hits);
+}
+
+TEST(CoverageTelemetryCollector, BatchCommitRejectsInvalidInputs) {
+  const auto m = fsm::random_connected_machine(8, 3, 2, 5);  // 3 inputs
+  model::ExplicitModel model(m, 0);
+  obs::CoverageTelemetryCollector collector(model);
+  const std::vector<std::vector<std::vector<bool>>> bad{{{true, true}}};
+  EXPECT_THROW(collector.commit_batch(bad), std::domain_error);
+}
+
 TEST(CoverageTelemetryCollector, InvalidInputInACommittedSequenceThrows) {
   const auto m = fsm::random_connected_machine(8, 3, 2, 5);  // 3 inputs
   model::ExplicitModel model(m, 0);
@@ -314,6 +361,26 @@ TEST(PrometheusText, RendersCountersGaugesAndCumulativeHistograms) {
 TEST(PrometheusText, EmptyRegistryRendersEmpty) {
   obs::MetricsRegistry reg;
   EXPECT_TRUE(obs::write_prometheus_text(reg).empty());
+}
+
+TEST(PrometheusText, LargeValuesKeepFullPrecision) {
+  // The exporter stream runs at max_digits10 precision, so values with more
+  // than ostream's default 6 significant digits survive a parse back into
+  // float64 unchanged. 2^53 + 1 is the sentinel: one digit lost anywhere in
+  // the pipeline and the text below cannot appear.
+  obs::MetricsRegistry reg;
+  reg.add_counter(obs::Stage::kSimulate, "cycles", 9007199254740993ull);
+  reg.max_gauge(obs::Stage::kSimulate, "peak", 123456789ull);
+  reg.observe(obs::Stage::kSimulate, "lat", 987654321ull);
+
+  const std::string text = obs::write_prometheus_text(reg);
+  EXPECT_NE(
+      text.find("simcov_cycles_total{stage=\"simulate\"} 9007199254740993"),
+      std::string::npos);
+  EXPECT_NE(text.find("simcov_peak{stage=\"simulate\"} 123456789"),
+            std::string::npos);
+  EXPECT_NE(text.find("simcov_lat_sum{stage=\"simulate\"} 987654321"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

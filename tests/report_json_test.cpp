@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 namespace simcov {
@@ -169,6 +170,45 @@ TEST(JsonWriterTest, ElementsAndArrays) {
   w.element("x").element("y");
   w.end_array().field("n", 2).end_object();
   EXPECT_EQ(w.str(), "{\"items\":[\"x\",\"y\"],\"n\":2}");
+}
+
+TEST(JsonWriterTest, DoublesUseShortestRoundTripForm) {
+  // Exact short values keep their short spellings (the golden campaign
+  // reports depend on "1", "0.5" and "0" staying as-is) ...
+  core::JsonWriter w;
+  w.begin_object()
+      .field("one", 1.0)
+      .field("half", 0.5)
+      .field("zero", 0.0)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"one\":1,\"half\":0.5,\"zero\":0}");
+
+  // ... while values that need more than ostream's default 6 significant
+  // digits are no longer rounded: the emitted text parses back bit-equal.
+  const double precise = 0.005532824995350567;
+  core::JsonWriter p;
+  p.begin_object().field("v", precise).end_object();
+  const std::string json = p.str();
+  EXPECT_EQ(json, "{\"v\":0.005532824995350567}");
+  const std::string number = json.substr(5, json.size() - 6);
+  EXPECT_EQ(std::stod(number), precise);
+  EXPECT_EQ(std::stod(number) == precise, true);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  // Regression: `os_ << value` printed bare nan/inf tokens, which no JSON
+  // parser accepts. RFC 8259 has no encoding for them — null is the only
+  // faithful in-band representation.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  core::JsonWriter w;
+  w.begin_object()
+      .field("nan", nan)
+      .field("inf", inf)
+      .field("ninf", -inf)
+      .field("fine", 2.0)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null,\"ninf\":null,\"fine\":2}");
 }
 
 }  // namespace

@@ -86,6 +86,29 @@ TEST(LogicNet, ValidationErrors) {
   EXPECT_THROW((void)net.make_eq(one, two), std::invalid_argument);
 }
 
+TEST(LogicNet, EqConstRejectsOverWidthConstants) {
+  LogicNetwork net;
+  const SignalId a0 = net.add_input("a0");
+  const SignalId a1 = net.add_input("a1");
+  const std::vector<SignalId> a{a0, a1};
+  // 4 needs three bits — it can never match a 2-bit vector; building a
+  // comparator that is constant-false would silently hide an encoding bug.
+  EXPECT_THROW((void)net.make_eq_const(a, 4), std::invalid_argument);
+  EXPECT_THROW((void)net.make_eq_const(a, ~std::uint64_t{0}),
+               std::invalid_argument);
+  // The full in-range span still builds: 3 is the 2-bit maximum.
+  const SignalId is3 = net.make_eq_const(a, 3);
+  EXPECT_TRUE(net.eval({true, true})[is3]);
+  EXPECT_FALSE(net.eval({true, false})[is3]);
+  // A 64-bit vector accepts any constant (nothing is over-width).
+  LogicNetwork wide;
+  std::vector<SignalId> bits;
+  for (int i = 0; i < 64; ++i) {
+    bits.push_back(wide.add_input("b" + std::to_string(i)));
+  }
+  EXPECT_NO_THROW((void)wide.make_eq_const(bits, ~std::uint64_t{0}));
+}
+
 TEST(LogicNet, SymbolicMatchesConcrete) {
   LogicNetwork net;
   const SignalId a = net.add_input("a");
