@@ -92,12 +92,19 @@ int main(int argc, char** argv) {
   base.resume = bench::resume();
   base.collect_coverage_telemetry = true;
   base.packed = bench::packed();
+  base.generator = bench::generator();
+  if (base.generator.kind != core::GeneratorKind::kTransitionTour) {
+    // Smoke-scale walk budget: the identity claims below hold at any
+    // budget, and CI runs this bench once per generator.
+    base.generator.max_walk_steps = 16384;
+  }
 
   bench::header("Parallel campaign engine: DLX bug-exposure campaign");
   bench::row("hardware threads",
              static_cast<std::size_t>(std::thread::hardware_concurrency()));
   bench::row("injected bugs", bugs.size());
   bench::row("packed replay", base.packed ? "on" : "off");
+  bench::row("generator", core::generator_kind_name(base.generator.kind));
 
   // Serial reference.
   core::CampaignOptions serial = base;
@@ -118,7 +125,7 @@ int main(int argc, char** argv) {
   double speedup_at_4 = 0.0;
   core::CampaignResult parallel_result;
   for (const std::size_t threads :
-       {std::size_t{2}, std::size_t{4},
+       {std::size_t{2}, std::size_t{4}, std::size_t{8},
         std::size_t{std::thread::hardware_concurrency()}}) {
     core::CampaignOptions opt = base;
     opt.threads = threads;

@@ -17,6 +17,10 @@
 // `--store <dir>` and `--resume` expose the artifact store: benches pass
 // store_dir() / resume() into CampaignOptions so repeated invocations
 // reuse cached tours and checkpoints across processes.
+//
+// `--generator tour|biased|hybrid` selects the sequence-generation
+// strategy (model/generator_spec.hpp): benches pass generator() into
+// CampaignOptions::generator / MutantCoverageOptions::generator.
 #pragma once
 
 #include <chrono>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "core/json.hpp"
+#include "model/generator_spec.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
@@ -49,6 +54,7 @@ struct Recorder {
   std::string store_dir;
   bool resume = false;
   bool packed = false;
+  model::GeneratorSpec generator;
   std::vector<Section> sections;
   /// (key, raw JSON document) pairs embedded verbatim by finish().
   std::vector<std::pair<std::string, std::string>> attachments;
@@ -79,7 +85,7 @@ struct Recorder {
 
 /// Parses bench command-line flags (`--json <path>`, `--trace <path>`,
 /// `--perfetto <path>`, `--metrics <path>`, `--store <dir>`, `--resume`,
-/// `--packed on|off`).
+/// `--packed on|off`, `--generator tour|biased|hybrid`).
 /// Exits with status 2 on anything unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
@@ -121,11 +127,22 @@ inline void init(int argc, char** argv) {
         std::exit(2);
       }
       rec.packed = value == "on";
+    } else if (arg == "--generator" && i + 1 < argc) {
+      const std::string value(argv[++i]);
+      const auto kind = model::parse_generator_kind(value);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "%s: --generator expects tour|biased|hybrid, got '%s'\n",
+                     rec.binary.c_str(), value.c_str());
+        std::exit(2);
+      }
+      rec.generator.kind = *kind;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--trace <path>] "
                    "[--perfetto <path>] [--metrics <path>] "
-                   "[--store <dir>] [--resume] [--packed on|off]\n",
+                   "[--store <dir>] [--resume] [--packed on|off] "
+                   "[--generator tour|biased|hybrid]\n",
                    rec.binary.c_str());
       std::exit(2);
     }
@@ -172,6 +189,12 @@ inline void init(int argc, char** argv) {
 /// MutantCoverageOptions::packed (the bit-parallel 64-lane replay paths).
 [[nodiscard]] inline bool packed() {
   return detail::Recorder::instance().packed;
+}
+
+/// The `--generator` spec (default: transition tour, the paper's method) —
+/// plugs into CampaignOptions::generator / MutantCoverageOptions::generator.
+[[nodiscard]] inline const model::GeneratorSpec& generator() {
+  return detail::Recorder::instance().generator;
 }
 
 inline void header(const std::string& title) {

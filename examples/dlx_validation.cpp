@@ -48,7 +48,7 @@ int main() {
   std::printf("state space: %.0f states, %.0f transitions\n",
               test_model.count_reachable_states(),
               test_model.count_reachable_transitions());
-  auto stream = test_model.transition_tour_stream();
+  auto stream = test_model.tour_source();
 
   // 3/4. Stream the flow: concretize each sequence into a DLX program the
   //    moment the generator yields it, and validate it immediately — the

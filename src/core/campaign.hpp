@@ -32,6 +32,12 @@ using pipeline::CampaignOptions;
 using pipeline::CampaignResult;
 using pipeline::CancellationToken;
 using pipeline::method_name;
+// Generator-spec vocabulary (model/generator_spec.hpp) — selects the
+// sequence-generation strategy carried by CampaignOptions::generator.
+using model::GeneratorKind;
+using model::GeneratorSpec;
+using model::generator_kind_name;
+using model::parse_generator_kind;
 using pipeline::MutantCoverageOptions;
 using pipeline::MutantCoverageResult;
 using pipeline::PhaseTimings;

@@ -266,6 +266,21 @@ std::string to_json(const CampaignResult& result) {
   }
   w.end_array();
   emit_timings(w, result.timings);
+  // Optional sections append after "timings" — the default-spec campaign
+  // report must stay a byte-identical prefix of a non-default one (pinned
+  // by report_json_test's OptionalSectionsOmittedNotNull). The default
+  // transition-tour spec emits no section, keeping pre-generator-layer
+  // reports byte-identical.
+  if (!model::is_default_generator(result.generator)) {
+    const auto& g = result.generator;
+    w.begin_object("generator")
+        .field("kind", model::generator_kind_name(g.kind))
+        .field("sequence_length", g.sequence_length)
+        .field("max_walk_steps", g.max_walk_steps)
+        .field("bias_strength", g.bias_strength)
+        .field("hybrid_tour_steps", g.hybrid_tour_steps)
+        .end_object();
+  }
   if (result.symbolic_stats.has_value()) {
     const auto& s = *result.symbolic_stats;
     w.begin_object("symbolic")
@@ -324,9 +339,15 @@ std::string to_json(TestMethod method, const MutantCoverageResult& result) {
   }
   w.field("sequences", result.sequences);
   w.field("test_length", result.test_length);
-  // Per exposed mutant, in sample order: 1-based first-exposing sequence.
+  // Per real mutant, in sample order. Never-exposed mutants carry an
+  // explicit "exposed":false with the latency omitted — not 0, which
+  // would read as a real (and impossibly early) exposure index.
   w.begin_array("exposure_latency");
-  for (const std::uint64_t lat : result.exposure_latency) w.element(lat);
+  for (const auto& m : result.mutant_exposures) {
+    w.element_object().field("exposed", m.exposed);
+    if (m.exposed) w.field("sequences", m.sequences);
+    w.end_object();
+  }
   w.end_array();
   emit_timings(w, result.timings);
   w.end_object();

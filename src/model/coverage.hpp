@@ -70,6 +70,15 @@ class CoverageTracker {
     return transitions_.size();
   }
 
+  /// How many times the walk exercised (state, input); 0 when uncovered.
+  /// The coverage-biased generators (gen::BiasedRandomSource) reweight
+  /// their next-input distribution by this count.
+  [[nodiscard]] std::uint64_t hits(std::uint64_t state,
+                                   std::uint64_t input) const {
+    const auto it = transitions_.find(TransitionKey{state, input});
+    return it == transitions_.end() ? 0 : it->second;
+  }
+
   /// Calls `fn(hits)` once per distinct covered transition with how many
   /// times the walk exercised it. Iteration order is unspecified — consumers
   /// building tour-balance statistics (obs::coverage_telemetry) aggregate

@@ -268,7 +268,7 @@ class ExplicitTourStream final : public TourStream {
 
 }  // namespace
 
-std::unique_ptr<TourStream> ExplicitModel::transition_tour_stream(
+std::unique_ptr<SequenceSource> ExplicitModel::tour_source(
     const TourOptions& options) {
   (void)options;  // explicit generators always terminate; no step cap
   return std::make_unique<ExplicitTourStream>(*this);

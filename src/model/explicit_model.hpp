@@ -63,7 +63,7 @@ class ExplicitModel final : public TestModel {
   [[nodiscard]] double count_reachable_states() override;
   [[nodiscard]] double count_reachable_transitions() override;
   TourResult transition_tour(const TourOptions& options = {}) override;
-  std::unique_ptr<TourStream> transition_tour_stream(
+  std::unique_ptr<SequenceSource> tour_source(
       const TourOptions& options = {}) override;
   TourResult random_walk(std::size_t length, std::uint64_t seed) override;
 

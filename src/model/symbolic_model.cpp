@@ -202,7 +202,7 @@ class SymbolicModelTourStream final : public TourStream {
 
 }  // namespace
 
-std::unique_ptr<TourStream> SymbolicModel::transition_tour_stream(
+std::unique_ptr<SequenceSource> SymbolicModel::tour_source(
     const TourOptions& options) {
   sym::SymbolicTourOptions topt;
   topt.max_steps = options.max_steps;

@@ -33,7 +33,7 @@ std::vector<bool> TestModel::unpack_bits(std::uint64_t key, unsigned width) {
   return bits;
 }
 
-std::unique_ptr<TourStream> TestModel::transition_tour_stream(
+std::unique_ptr<SequenceSource> TestModel::tour_source(
     const TourOptions& options) {
   return std::make_unique<MaterializedTourStream>(transition_tour(options));
 }

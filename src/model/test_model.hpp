@@ -71,13 +71,15 @@ struct TourResult {
   bool complete = false;     ///< every reachable transition covered
 };
 
-/// The streaming seam between tour generation and the rest of the pipeline:
-/// reset-separated sequences are pulled one at a time, so downstream stages
-/// (concretize, simulate) can run while later sequences are still being
-/// generated, and the full test set need never be materialized.
-class TourStream {
+/// The streaming seam between sequence generation and the rest of the
+/// pipeline: reset-separated sequences are pulled one at a time, so
+/// downstream stages (concretize, simulate) can run while later sequences
+/// are still being generated, and the full test set need never be
+/// materialized. Transition tours, coverage-biased random walks and hybrid
+/// generators (src/gen) are all strategies behind this one interface.
+class SequenceSource {
  public:
-  virtual ~TourStream() = default;
+  virtual ~SequenceSource() = default;
 
   /// The next reset-separated input sequence (one PI bit vector per step);
   /// nullopt once the tour has ended.
@@ -89,10 +91,14 @@ class TourStream {
   virtual TourResult summary() = 0;
 };
 
-/// TourStream over an already materialized TourResult — the adapter behind
-/// TestModel::transition_tour_stream's default implementation and a handy
+/// Historical name for the seam, kept for source compatibility — every
+/// generator strategy (not just tours) now streams through it.
+using TourStream = SequenceSource;
+
+/// SequenceSource over an already materialized TourResult — the adapter
+/// behind TestModel::tour_source's default implementation and a handy
 /// wrapper for tests.
-class MaterializedTourStream final : public TourStream {
+class MaterializedTourStream final : public SequenceSource {
  public:
   explicit MaterializedTourStream(TourResult result)
       : result_(std::move(result)) {}
@@ -183,9 +189,20 @@ class TestModel {
   /// Streaming form of transition_tour: yields the identical sequences in
   /// the identical order, one at a time. The base implementation simply
   /// materializes transition_tour; ExplicitModel and SymbolicModel override
-  /// it with generators that produce sequences incrementally.
-  virtual std::unique_ptr<TourStream> transition_tour_stream(
+  /// it with generators that produce sequences incrementally. This is the
+  /// transition-tour strategy behind the SequenceSource seam — other
+  /// strategies (biased-random, hybrid) live in src/gen and are selected
+  /// through gen::open_sequence_source.
+  virtual std::unique_ptr<SequenceSource> tour_source(
       const TourOptions& options = {});
+
+  /// Pre-generator-layer name for tour_source. The entry point was renamed
+  /// when sequence generation became pluggable — a "tour stream" is now one
+  /// strategy among several behind the SequenceSource seam.
+  [[deprecated("use tour_source()")]] std::unique_ptr<SequenceSource>
+  transition_tour_stream(const TourOptions& options = {}) {
+    return tour_source(options);
+  }
 
   /// Random walk of `length` steps from reset (uniform over the valid
   /// inputs of the current state), deterministic in `seed`.

@@ -30,6 +30,7 @@
 #include "bdd/bdd.hpp"
 #include "dlx/pipeline.hpp"
 #include "fsm/mealy.hpp"
+#include "model/generator_spec.hpp"
 #include "model/test_model.hpp"
 #include "obs/coverage_telemetry.hpp"
 #include "obs/event_sink.hpp"
@@ -152,6 +153,12 @@ struct CampaignOptions {
   std::size_t max_tour_steps = 10'000'000;
   /// Length of the random-walk baseline.
   std::size_t random_length = 2000;
+  /// Sequence-generation strategy (kTransitionTour, kBiasedRandom,
+  /// kHybrid). Only meaningful with kTransitionTourSet — a non-default
+  /// spec combined with any other method throws std::invalid_argument.
+  /// The default spec reproduces the pre-generator-layer pipeline
+  /// byte-for-byte. Every field is part of the tour-cache fingerprint.
+  model::GeneratorSpec generator;
   std::uint64_t seed = 1;
   /// Worker threads for the concretization/simulation loops
   /// (0 = one per hardware thread). Results are identical at any setting.
@@ -239,6 +246,10 @@ struct CampaignResult {
   std::size_t model_transitions = 0;
   std::size_t sequences = 0;
   std::size_t test_length = 0;  ///< total tour steps
+  /// The generator spec the campaign ran with. Echoed as the "generator"
+  /// JSON section for non-default specs; default-spec reports carry no
+  /// section (they stay byte-identical to pre-generator-layer goldens).
+  model::GeneratorSpec generator;
   double state_coverage = 0.0;
   double transition_coverage = 0.0;
   std::size_t total_instructions = 0;
@@ -287,6 +298,10 @@ struct CampaignResult {
 struct MutantCoverageOptions {
   TestMethod method = TestMethod::kTransitionTourSet;
   std::size_t random_length = 500;
+  /// Sequence-generation strategy; same contract as
+  /// CampaignOptions::generator (non-default specs require
+  /// kTransitionTourSet).
+  model::GeneratorSpec generator;
   std::uint64_t seed = 1;
   /// Extra steps appended to every sequence so the final transitions also
   /// get their k-step exposure window (Theorem 1's simulation horizon).
@@ -322,6 +337,20 @@ struct MutantCoverageResult {
   /// first test sequence that exposed it — Theorem 3's completeness claim
   /// as a latency distribution. Deterministic (per-mutant verdict slots).
   std::vector<std::uint64_t> exposure_latency;
+  /// Exposure verdict of ONE real mutant (equivalent mutants are not
+  /// listed — no test can expose them).
+  struct MutantExposure {
+    bool exposed = false;
+    /// 1-based index of the first exposing sequence; meaningful only when
+    /// exposed. Never-exposed mutants carry no latency — the JSON emits
+    /// {"exposed":false} with the field omitted, not 0.
+    std::uint64_t sequences = 0;
+    friend bool operator==(const MutantExposure&,
+                           const MutantExposure&) = default;
+  };
+  /// Every real mutant in sample order, exposed or not — the per-mutant
+  /// view behind exposure_latency (which lists exposed mutants only).
+  std::vector<MutantExposure> mutant_exposures;
   PhaseTimings timings;
   /// Per-stage outcome (tour + mutant replay).
   std::vector<StageReport> stage_reports;

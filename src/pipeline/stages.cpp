@@ -10,6 +10,7 @@
 #include "distinguish/distinguish.hpp"
 #include "distinguish/wmethod.hpp"
 #include "errmodel/errmodel.hpp"
+#include "gen/generators.hpp"
 #include "model/symbolic_model.hpp"
 #include "runtime/rng.hpp"
 #include "store/codec.hpp"
@@ -19,14 +20,54 @@
 
 namespace simcov::pipeline {
 
+namespace {
+
+/// Machine-level test set from a coverage-directed source (src/gen): the
+/// machine is wrapped as a bare ExplicitModel — whose packed keys coincide
+/// with the dense state/input ids — the source is drained, and each
+/// yielded PI bit vector packs back into the InputId it came from.
+tour::TourSet drain_generator_test_set(const fsm::MealyMachine& machine,
+                                       fsm::StateId start,
+                                       const model::GeneratorSpec& generator,
+                                       std::uint64_t seed) {
+  model::ExplicitModel wrapped(machine, start);
+  const auto source = gen::open_sequence_source(wrapped, generator, seed);
+  tour::TourSet set;
+  set.start = start;
+  while (auto seq = source->next_sequence()) {
+    std::vector<fsm::InputId> inputs;
+    inputs.reserve(seq->size());
+    for (const auto& step : *seq) {
+      inputs.push_back(
+          static_cast<fsm::InputId>(model::TestModel::pack_bits(step)));
+    }
+    set.sequences.push_back(std::move(inputs));
+  }
+  return set;
+}
+
+}  // namespace
+
 tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
                                 fsm::StateId start, TestMethod method,
                                 std::size_t random_length,
-                                std::uint64_t seed) {
+                                std::uint64_t seed,
+                                const model::GeneratorSpec& generator) {
+  if (!model::is_default_generator(generator) &&
+      method != TestMethod::kTransitionTourSet) {
+    throw std::invalid_argument(
+        std::string("generate_test_set: generator spec '") +
+        model::generator_kind_name(generator.kind) +
+        "' requires the transition-tour-set method, got " +
+        method_name(method));
+  }
   tour::TourSet set;
   set.start = start;
   switch (method) {
     case TestMethod::kTransitionTourSet: {
+      if (generator.kind != model::GeneratorKind::kTransitionTour) {
+        return drain_generator_test_set(machine, start, generator, seed);
+      }
       auto t = tour::greedy_transition_tour_set(machine, start);
       if (!t.has_value()) {
         throw std::runtime_error("transition tour set generation failed");
@@ -182,18 +223,28 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
 
 namespace {
 
-/// The store-oblivious part of TourStage::open: the live generator stream
-/// for the chosen method.
-std::unique_ptr<model::TourStream> open_live_stream(
+/// The store-oblivious part of GenerateStage::open: the live sequence
+/// source for the chosen method and generator spec.
+std::unique_ptr<model::SequenceSource> open_live_stream(
     const CampaignOptions& options, model::TestModel& model,
     model::ExplicitModel* explicit_model, obs::EventSink& sink) {
+  if (!model::is_default_generator(options.generator) &&
+      options.method != TestMethod::kTransitionTourSet) {
+    throw std::invalid_argument(
+        std::string("run_campaign: generator spec '") +
+        model::generator_kind_name(options.generator.kind) +
+        "' requires the transition-tour-set method, got " +
+        method_name(options.method));
+  }
   switch (options.method) {
     case TestMethod::kTransitionTourSet: {
       // Native streaming: generation cost lands in kTour spans as batches
-      // are pulled by the executor, not here.
+      // are pulled by the executor, not here. The generator spec selects
+      // the strategy; the default is the model's own transition tour.
       model::TourOptions tour_options;
       tour_options.max_steps = options.max_tour_steps;
-      return model.transition_tour_stream(tour_options);
+      return gen::open_sequence_source(model, options.generator, options.seed,
+                                       tour_options);
     }
     case TestMethod::kRandomWalk: {
       obs::ScopedSpan span(sink, obs::Stage::kTour);
@@ -221,12 +272,12 @@ std::unique_ptr<model::TourStream> open_live_stream(
 
 }  // namespace
 
-std::unique_ptr<model::TourStream> TourStage::open(
+std::unique_ptr<model::SequenceSource> GenerateStage::open(
     const CampaignOptions& options, model::TestModel& model,
     model::ExplicitModel* explicit_model, obs::EventSink& sink,
     store::ArtifactStore* store, const store::Fingerprint& key) {
-  // A tour budget truncates generation, and a truncated tour is not the
-  // tour the key describes — bypass the cache entirely in that case.
+  // A tour budget truncates generation, and a truncated test set is not
+  // the one the key describes — bypass the cache entirely in that case.
   const bool cacheable =
       store != nullptr &&
       !options.budgets.tour.deadline_seconds.has_value() &&
@@ -364,7 +415,8 @@ MutantCoverageResult MutantReplayStage::run(
   {
     obs::ScopedSpan span(sink, obs::Stage::kTour);
     set = generate_test_set(machine, start, options.method,
-                            options.random_length, options.seed);
+                            options.random_length, options.seed,
+                            options.generator);
     if (options.k_extension > 0) {
       for (auto& seq : set.sequences) {
         extend_sequence(machine, start, seq, options.k_extension);
@@ -480,10 +532,13 @@ MutantCoverageResult MutantReplayStage::run(
           continue;
         }
         ++result.mutants;
+        // Sample order, so both per-mutant lists are deterministic at any
+        // thread count — the Theorem-3 exposure distribution.
+        result.mutant_exposures.push_back(
+            MutantCoverageResult::MutantExposure{v.exposed,
+                                                 v.exposing_sequence});
         if (v.exposed) {
           ++result.exposed;
-          // Sample order, so the latency list is deterministic at any
-          // thread count — the Theorem-3 exposure distribution.
           result.exposure_latency.push_back(v.exposing_sequence);
         }
       }

@@ -1,12 +1,12 @@
 // The typed stages of the validation pipeline (Figure 1 of the paper, plus
 // the Theorem-3 mutant replay), assembled by pipeline::ValidationPipeline.
 //
-//   ModelBuildStage -> (SymbolicSnapshotStage) -> TourStage
+//   ModelBuildStage -> (SymbolicSnapshotStage) -> GenerateStage
 //       -> ConcretizeStage -> SimulateStage -> CompareStage
 //
-// TourStage opens a model::TourStream — the streaming seam — so the stages
-// downstream of it run batch-by-batch while later sequences are still being
-// generated. Each stage times itself through the obs::EventSink it is
+// GenerateStage opens a model::SequenceSource — the streaming seam — so the
+// stages downstream of it run batch-by-batch while later sequences are
+// still being generated. Each stage times itself through the obs::EventSink it is
 // handed (one span per batch; sinks accumulate) and honours the shared
 // CancellationToken via the runtime::ThreadPool's cancel hook.
 //
@@ -59,23 +59,31 @@ struct SymbolicSnapshotStage {
                   const store::Fingerprint& key);
 };
 
-/// Opens the test-sequence stream for the chosen method. Transition tours
-/// stream natively (backend generators suspend at every reset); the other
-/// methods materialize first and stream from memory. Generation time lands
-/// in kTour spans (here for the materializing methods, per pulled batch in
+/// Opens the test-sequence source for the chosen method and generator
+/// spec. Transition tours and the coverage-directed generators (src/gen)
+/// stream natively (they suspend at every reset); the other methods
+/// materialize first and stream from memory. Generation time lands in
+/// kTour spans (here for the materializing methods, per pulled batch in
 /// the executor for the native streams).
 ///
 /// With an artifact store, the stage consults it under `key` first: a hit
-/// replays the stored tour (generation is skipped entirely); a miss wraps
-/// the live stream in a store::RecordingTourStream so the executor can
-/// publish the finished tour. Caching is bypassed when a tour budget is
-/// set — a truncated tour is not the tour the key describes.
-struct TourStage {
-  static std::unique_ptr<model::TourStream> open(
+/// replays the stored sequences (generation is skipped entirely); a miss
+/// wraps the live source in a store::RecordingTourStream so the executor
+/// can publish the finished test set. Caching is bypassed when a tour
+/// budget is set — a truncated test set is not the one the key describes.
+///
+/// A non-default CampaignOptions::generator requires kTransitionTourSet;
+/// any other method throws std::invalid_argument.
+struct GenerateStage {
+  static std::unique_ptr<model::SequenceSource> open(
       const CampaignOptions& options, model::TestModel& model,
       model::ExplicitModel* explicit_model, obs::EventSink& sink,
       store::ArtifactStore* store, const store::Fingerprint& key);
 };
+
+/// Pre-generator-layer name for GenerateStage — tours are one strategy
+/// behind the seam now.
+using TourStage = GenerateStage;
 
 /// Concretizes one batch of tour sequences into DLX programs, sharded over
 /// the pool. `out` must be pre-sized to the batch; a cancelled batch leaves
@@ -129,10 +137,13 @@ struct MutantReplayStage {
 // ---- Shared machine-level helpers -----------------------------------------
 
 /// Generates the test set for a method over an explicit machine. Throws
-/// std::runtime_error when the method cannot produce one.
+/// std::runtime_error when the method cannot produce one, and
+/// std::invalid_argument when a non-default generator spec is combined
+/// with a method other than kTransitionTourSet.
 tour::TourSet generate_test_set(const fsm::MealyMachine& machine,
                                 fsm::StateId start, TestMethod method,
-                                std::size_t random_length, std::uint64_t seed);
+                                std::size_t random_length, std::uint64_t seed,
+                                const model::GeneratorSpec& generator = {});
 
 /// Extends a sequence by `extra` valid steps (smallest defined input each
 /// step), providing the exposure window of Theorem 1.

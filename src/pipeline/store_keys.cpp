@@ -12,14 +12,23 @@ CampaignStoreKeys campaign_store_keys(const CampaignOptions& options,
 
   CampaignStoreKeys keys;
   {
+    // v2: the generator spec joined the key when sequence generation
+    // became pluggable — every sequence-shaping knob must be inside this
+    // fingerprint so warm hits never replay a test set generated under a
+    // different strategy or parameterization.
     store::Hasher h;
-    h.str("simcov.key.tour.v1");
+    h.str("simcov.key.tour.v2");
     h.fp(circuit_fp).fp(options_fp);
     h.u8(static_cast<std::uint8_t>(backend));
     h.u8(static_cast<std::uint8_t>(options.method));
     h.u64(options.max_tour_steps);
     h.u64(options.random_length);
     h.u64(options.seed);
+    h.u8(static_cast<std::uint8_t>(options.generator.kind));
+    h.u64(options.generator.sequence_length);
+    h.u64(options.generator.max_walk_steps);
+    h.u64(options.generator.bias_strength);
+    h.u64(options.generator.hybrid_tour_steps);
     keys.tour = h.digest();
   }
   {

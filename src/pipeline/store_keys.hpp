@@ -6,7 +6,9 @@
 //   tour       — the structural circuit fingerprint plus everything that
 //                shapes generation: model options, the resolved backend
 //                (explicit and symbolic generators emit different tours),
-//                the method and its knobs (step cap, walk length, seed).
+//                the method and its knobs (step cap, walk length, seed),
+//                and the full generator spec (family + every parameter) —
+//                warm hits must never cross generator strategies.
 //   symbolic   — the circuit plus the snapshot trigger (backend / the
 //                collect flag): the BDD statistics are a pure function of
 //                the circuit and of which path computed them.

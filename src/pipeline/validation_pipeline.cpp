@@ -79,8 +79,10 @@ CampaignResult ValidationPipeline::run(
   SymbolicSnapshotStage::run(options_, *build.built, *build.model, sink,
                              result, store.get(), keys.symbolic);
 
-  auto stream = TourStage::open(options_, *build.model, build.explicit_model,
-                                sink, store.get(), keys.tour);
+  auto stream = GenerateStage::open(options_, *build.model,
+                                    build.explicit_model, sink, store.get(),
+                                    keys.tour);
+  result.generator = options_.generator;
 
   // Resume: restore the checkpointed prefix of a previously killed campaign
   // with this key. The sequences themselves are re-pulled from the

@@ -1,11 +1,11 @@
 // The streaming campaign executor: assembles the typed stages of
 // pipeline/stages.hpp into the paper's Figure-1 flow.
 //
-//   ModelBuildStage -> SymbolicSnapshotStage -> TourStage
+//   ModelBuildStage -> SymbolicSnapshotStage -> GenerateStage
 //       -> [ ConcretizeStage -> SimulateStage ]  (batched, streaming)
 //       -> CompareStage
 //
-// Test sequences are pulled from the model::TourStream in windows of
+// Test sequences are pulled from the model::SequenceSource in windows of
 // `max_in_flight_sequences` and flow straight through concretization into
 // the sharded clean-run loop; the raw sequences are released as soon as
 // their batch is simulated, so peak test-set memory is bounded by the

@@ -25,9 +25,14 @@ namespace simcov::runtime {
 /// Well-known stream tags used by the campaign engine. Values are part of
 /// the reproducibility contract: changing them changes every seeded result.
 enum Stream : std::uint64_t {
-  kWalkStream = 0,    ///< random-walk test generation
-  kMutantStream = 1,  ///< error-model mutant sampling
-  kRunStream = 2,     ///< base for per-run streams (run k uses kRunStream + k)
+  kWalkStream = 0,       ///< random-walk test generation
+  kMutantStream = 1,     ///< error-model mutant sampling
+  kGeneratorStream = 2,  ///< coverage-biased sequence generators (src/gen)
+  /// Base for per-run streams (run k uses kRunStream + k). Keep this tag
+  /// last: the run range is open-ended upward, so fixed tags must sit
+  /// below it. (Renumbering it here was free — derive_run_stream had no
+  /// callers yet when kGeneratorStream was inserted.)
+  kRunStream = 3,
 };
 
 /// Derives the seed of stream `stream` from user seed `seed`: mix the seed,

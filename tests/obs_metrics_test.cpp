@@ -243,7 +243,7 @@ TEST(CoverageCurveBuilder, IsDeterministicInTheAppendSequenceAlone) {
 TEST(CoverageTelemetryCollector, ReplayMatchesTheModelsOwnTourAccounting) {
   const auto m = fsm::random_connected_machine(24, 3, 4, 17);
   model::ExplicitModel tour_model(m, 0);
-  auto stream = tour_model.transition_tour_stream();
+  auto stream = tour_model.tour_source();
 
   model::ExplicitModel replay_model(m, 0);
   obs::CoverageTelemetryCollector collector(replay_model, 64);
@@ -273,7 +273,7 @@ TEST(CoverageTelemetryCollector, ReplayMatchesTheModelsOwnTourAccounting) {
 TEST(CoverageTelemetryCollector, BatchCommitIsByteIdenticalToSequential) {
   const auto m = fsm::random_connected_machine(24, 3, 4, 17);
   model::ExplicitModel tour_model(m, 0);
-  auto stream = tour_model.transition_tour_stream();
+  auto stream = tour_model.tour_source();
   std::vector<std::vector<std::vector<bool>>> sequences;
   while (auto seq = stream->next_sequence()) sequences.push_back(*seq);
   ASSERT_FALSE(sequences.empty());

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "fsm/mealy.hpp"
 #include "model/explicit_model.hpp"
 #include "obs/event_sink.hpp"
+#include "pipeline/store_keys.hpp"
 #include "store/artifact_store.hpp"
 #include "tour/tour.hpp"
 
@@ -102,7 +104,7 @@ TEST(TourStreaming, ExplicitStreamMatchesMaterializedTour) {
   const auto full = materialized.transition_tour();
 
   model::ExplicitModel streamed_model(m, 0);
-  auto stream = streamed_model.transition_tour_stream();
+  auto stream = streamed_model.tour_source();
   std::vector<std::vector<std::vector<bool>>> sequences;
   while (auto seq = stream->next_sequence()) {
     sequences.push_back(std::move(*seq));
@@ -127,6 +129,43 @@ TEST(TourStreaming, MaterializedStreamHandlesEmptyTour) {
   const auto summary = stream.summary();
   EXPECT_EQ(summary.steps, 0u);
   EXPECT_FALSE(summary.complete);
+  // An exhausted (here: empty) source keeps answering nullopt — a resumed
+  // campaign may pull past the end again after restoring its checkpoint.
+  EXPECT_FALSE(stream.next_sequence().has_value());
+  EXPECT_EQ(stream.summary().steps, 0u);
+}
+
+TEST(TourStreaming, MaterializedStreamResumesMidPullWithStableSummary) {
+  // A cancelled campaign stops pulling mid-stream and reads summary();
+  // resuming pulls the remaining sequences from where it stopped, in
+  // order, without disturbing them.
+  model::TourResult result;
+  result.tour.sequences = {{{true}}, {{false}}, {{true}, {false}}};
+  result.steps = 4;
+  result.restarts = 2;
+  result.complete = true;
+  model::MaterializedTourStream stream{result};
+
+  const auto first = stream.next_sequence();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, result.tour.sequences[0]);
+
+  const auto paused = stream.summary();
+  EXPECT_EQ(paused.steps, 4u);
+  EXPECT_EQ(paused.restarts, 2u);
+  EXPECT_TRUE(paused.complete);
+  EXPECT_TRUE(paused.tour.sequences.empty())
+      << "summary must not rematerialize or consume the pending sequences";
+
+  const auto second = stream.next_sequence();
+  const auto third = stream.next_sequence();
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*second, result.tour.sequences[1]);
+  EXPECT_EQ(*third, result.tour.sequences[2]);
+  EXPECT_FALSE(stream.next_sequence().has_value());
+  EXPECT_FALSE(stream.next_sequence().has_value());
+  EXPECT_EQ(stream.summary().steps, 4u);
 }
 
 // ---------------------------------------------------------------------------
@@ -735,6 +774,250 @@ TEST(PipelineGolden, SymbolicTourMatchesPreRefactorEngine) {
     options.threads = threads;
     const auto result = core::run_campaign(options, bugs);
     EXPECT_EQ(semantic_fingerprint(result), kGoldenSymbolicTour)
+        << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator layer: pluggable sequence sources at the campaign level
+// ---------------------------------------------------------------------------
+
+/// A biased-random spec small enough to keep tiny-model campaigns fast.
+core::GeneratorSpec biased_campaign_spec() {
+  core::GeneratorSpec spec;
+  spec.kind = core::GeneratorKind::kBiasedRandom;
+  spec.sequence_length = 32;
+  spec.max_walk_steps = 2000;
+  return spec;
+}
+
+core::GeneratorSpec hybrid_campaign_spec() {
+  core::GeneratorSpec spec = biased_campaign_spec();
+  spec.kind = core::GeneratorKind::kHybrid;
+  spec.hybrid_tour_steps = 256;
+  return spec;
+}
+
+TEST(PipelineGenerator, BiasedCampaignIsBitIdenticalAcrossThreadCounts) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.generator = biased_campaign_spec();
+  const auto reference = core::run_campaign(options, kThreeBugs);
+  const std::string fingerprint = semantic_fingerprint(reference);
+  EXPECT_NE(fingerprint.find("\"generator\":{\"kind\":\"biased_random\""),
+            std::string::npos);
+  EXPECT_GT(reference.sequences, 1u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    EXPECT_EQ(semantic_fingerprint(core::run_campaign(options, kThreeBugs)),
+              fingerprint)
+        << "threads=" << threads;
+  }
+
+  // The strategy actually changed what ran: a default-spec campaign
+  // produces a different report, and one without a "generator" section.
+  const std::string default_fingerprint =
+      semantic_fingerprint(core::run_campaign(tour_campaign_options(),
+                                              kThreeBugs));
+  EXPECT_NE(default_fingerprint, fingerprint);
+  EXPECT_EQ(default_fingerprint.find("\"generator\""), std::string::npos);
+}
+
+TEST(PipelineGenerator, HybridCampaignIsBitIdenticalAcrossThreadCounts) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.generator = hybrid_campaign_spec();
+  const auto reference = core::run_campaign(options, kThreeBugs);
+  const std::string fingerprint = semantic_fingerprint(reference);
+  EXPECT_NE(fingerprint.find("\"generator\":{\"kind\":\"hybrid\""),
+            std::string::npos);
+  EXPECT_GT(reference.sequences, 1u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    EXPECT_EQ(semantic_fingerprint(core::run_campaign(options, kThreeBugs)),
+              fingerprint)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineGenerator, NonDefaultSpecRejectsOtherMethods) {
+  core::CampaignOptions options = tour_campaign_options();
+  options.method = core::TestMethod::kRandomWalk;
+  options.generator = biased_campaign_spec();
+  EXPECT_THROW(core::run_campaign(options, kThreeBugs),
+               std::invalid_argument);
+}
+
+TEST(PipelineGenerator, MutantReplayListsEveryRealMutantOnce) {
+  const auto m = fsm::random_connected_machine(20, 3, 4, 9);
+  model::ExplicitModel model(m, 0);
+  core::MutantCoverageOptions options;
+  options.mutant_sample = 40;
+  options.k_extension = 2;
+  const auto r = core::evaluate_mutant_coverage(model, options);
+  ASSERT_EQ(r.mutant_exposures.size(), r.mutants);
+
+  std::size_t exposed = 0;
+  std::vector<std::uint64_t> exposed_latencies;
+  for (const auto& e : r.mutant_exposures) {
+    if (e.exposed) {
+      ++exposed;
+      EXPECT_GE(e.sequences, 1u);
+      EXPECT_LE(e.sequences, r.sequences);
+      exposed_latencies.push_back(e.sequences);
+    } else {
+      EXPECT_EQ(e.sequences, 0u) << "unexposed mutants carry no latency";
+    }
+  }
+  EXPECT_EQ(exposed, r.exposed);
+  EXPECT_EQ(exposed_latencies, r.exposure_latency)
+      << "the exposed-only view must be a projection of mutant_exposures";
+}
+
+TEST(PipelineGenerator, MutantReplayWithBiasedGeneratorIsThreadInvariant) {
+  const auto m = fsm::random_connected_machine(20, 3, 4, 9);
+  model::ExplicitModel model(m, 0);
+  core::MutantCoverageOptions options;
+  options.mutant_sample = 30;
+  options.k_extension = 2;
+  options.generator = biased_campaign_spec();
+  const auto reference = core::evaluate_mutant_coverage(model, options);
+  EXPECT_GT(reference.sequences, 0u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    core::MutantCoverageOptions opt = options;
+    opt.threads = threads;
+    const auto r = core::evaluate_mutant_coverage(model, opt);
+    EXPECT_EQ(r.mutant_exposures, reference.mutant_exposures)
+        << "threads=" << threads;
+    EXPECT_EQ(r.exposure_latency, reference.exposure_latency)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineStoreKeys, TourKeyCoversEverySequenceShapingKnob) {
+  const auto built = testmodel::build_dlx_control_model(tiny_model_options());
+  const core::CampaignOptions base = tour_campaign_options();
+  const auto baseline = pipeline::campaign_store_keys(
+      base, built.circuit, model::Backend::kExplicit, kThreeBugs);
+
+  using Mutator = std::function<void(core::CampaignOptions&)>;
+  const std::vector<std::pair<const char*, Mutator>> knobs{
+      {"method",
+       [](core::CampaignOptions& o) {
+         o.method = core::TestMethod::kStateTour;
+       }},
+      {"max_tour_steps",
+       [](core::CampaignOptions& o) { o.max_tour_steps += 1; }},
+      {"random_length",
+       [](core::CampaignOptions& o) { o.random_length += 1; }},
+      {"seed", [](core::CampaignOptions& o) { o.seed += 1; }},
+      {"generator.kind",
+       [](core::CampaignOptions& o) {
+         o.generator.kind = core::GeneratorKind::kBiasedRandom;
+       }},
+      {"generator.sequence_length",
+       [](core::CampaignOptions& o) { o.generator.sequence_length += 1; }},
+      {"generator.max_walk_steps",
+       [](core::CampaignOptions& o) { o.generator.max_walk_steps += 1; }},
+      {"generator.bias_strength",
+       [](core::CampaignOptions& o) { o.generator.bias_strength += 1; }},
+      {"generator.hybrid_tour_steps",
+       [](core::CampaignOptions& o) { o.generator.hybrid_tour_steps += 1; }},
+  };
+  for (const auto& [name, mutate] : knobs) {
+    core::CampaignOptions opt = base;
+    mutate(opt);
+    const auto keys = pipeline::campaign_store_keys(
+        opt, built.circuit, model::Backend::kExplicit, kThreeBugs);
+    EXPECT_NE(keys.tour, baseline.tour) << name;
+    // Checkpoint and report keys chain off the tour key, so a sequence-
+    // shaping change invalidates those artifacts too.
+    EXPECT_NE(keys.checkpoint, baseline.checkpoint) << name;
+    EXPECT_NE(keys.report, baseline.report) << name;
+  }
+
+  // The resolved backend shapes generation as well.
+  const auto symbolic = pipeline::campaign_store_keys(
+      base, built.circuit, model::Backend::kSymbolic, kThreeBugs);
+  EXPECT_NE(symbolic.tour, baseline.tour);
+
+  // The cycle budget shapes verdicts (checkpoint/report) but not the tour.
+  core::CampaignOptions cycles = base;
+  cycles.max_cycles += 1;
+  const auto cycle_keys = pipeline::campaign_store_keys(
+      cycles, built.circuit, model::Backend::kExplicit, kThreeBugs);
+  EXPECT_EQ(cycle_keys.tour, baseline.tour);
+  EXPECT_NE(cycle_keys.checkpoint, baseline.checkpoint);
+
+  // Runtime-only knobs stay out: artifacts are shareable across them.
+  core::CampaignOptions runtime_only = base;
+  runtime_only.threads = 7;
+  runtime_only.max_in_flight_sequences = 3;
+  runtime_only.checkpoint_every = 1;
+  const auto same = pipeline::campaign_store_keys(
+      runtime_only, built.circuit, model::Backend::kExplicit, kThreeBugs);
+  EXPECT_EQ(same.tour, baseline.tour);
+  EXPECT_EQ(same.checkpoint, baseline.checkpoint);
+  EXPECT_EQ(same.report, baseline.report);
+}
+
+TEST_F(PipelineStoreTest, WarmTourCacheNeverCrossesGeneratorSpecs) {
+  core::CampaignOptions tour_options = tour_campaign_options();
+  tour_options.store_dir = dir_.string();
+  const auto tour_run = core::run_campaign(tour_options, kThreeBugs);
+  ASSERT_TRUE(tour_run.store_stats.has_value());
+
+  // A biased-spec campaign on the same store must regenerate: the tour the
+  // default run published is keyed under a different generator spec.
+  core::CampaignOptions biased_options = tour_options;
+  biased_options.generator = biased_campaign_spec();
+  const auto biased_cold = core::run_campaign(biased_options, kThreeBugs);
+  ASSERT_TRUE(biased_cold.store_stats.has_value());
+  EXPECT_GT(biased_cold.store_stats->misses, 0u)
+      << "the biased run reused an artifact keyed for another generator";
+  EXPECT_NE(semantic_fingerprint(biased_cold),
+            semantic_fingerprint(tour_run));
+
+  // Same spec, same store: now it's a legitimate warm hit.
+  const auto biased_warm = core::run_campaign(biased_options, kThreeBugs);
+  ASSERT_TRUE(biased_warm.store_stats.has_value());
+  EXPECT_GT(biased_warm.store_stats->hits, 0u);
+  EXPECT_EQ(biased_warm.store_stats->misses, 0u);
+  EXPECT_EQ(semantic_fingerprint(biased_warm),
+            semantic_fingerprint(biased_cold));
+}
+
+TEST_F(PipelineStoreTest, KilledBiasedCampaignResumesIdenticallyAcrossThreads) {
+  core::CampaignOptions base = tour_campaign_options();
+  base.generator = biased_campaign_spec();
+  base.checkpoint_every = 2;
+  const std::string reference =
+      semantic_fingerprint(core::run_campaign(base, kThreeBugs));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const auto dir = dir_ / ("t" + std::to_string(threads));
+
+    core::CampaignOptions kopt = base;
+    kopt.cancel = core::CancellationToken{};
+    kopt.threads = threads;
+    kopt.store_dir = dir.string();
+    KillAfterRuns killer(kopt.cancel, 3);
+    kopt.sink = &killer;
+    const auto killed = core::run_campaign(kopt, kThreeBugs);
+    EXPECT_TRUE(killed.cancelled()) << "threads=" << threads;
+    EXPECT_NE(semantic_fingerprint(killed), reference);
+
+    core::CampaignOptions ropt = base;
+    ropt.cancel = core::CancellationToken{};
+    ropt.threads = threads;
+    ropt.store_dir = dir.string();
+    ropt.resume = true;
+    const auto resumed = core::run_campaign(ropt, kThreeBugs);
+    ASSERT_TRUE(resumed.store_stats.has_value());
+    EXPECT_GT(resumed.store_stats->resumed_sequences, 0u)
+        << "threads=" << threads;
+    EXPECT_EQ(semantic_fingerprint(resumed), reference)
+        << "the biased stream must re-pull deterministically across resume, "
         << "threads=" << threads;
   }
 }

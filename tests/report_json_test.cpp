@@ -97,6 +97,58 @@ TEST(ReportJsonGolden, OptionalSectionsOmittedNotNull) {
   EXPECT_EQ(with.rfind(without.substr(0, without.size() - 1), 0), 0u);
 }
 
+TEST(ReportJsonGolden, MutantCoverageExactStringWithUnexposedMutants) {
+  // Satellite contract: never-exposed mutants carry an explicit
+  // "exposed":false with the latency OMITTED — not 0, which would read as
+  // a real (and impossibly early, indices are 1-based) exposure.
+  core::MutantCoverageResult r;
+  r.mutants = 3;
+  r.exposed = 2;
+  r.equivalent = 1;
+  r.sequences = 4;
+  r.test_length = 40;
+  r.exposure_latency = {2, 5};
+  r.mutant_exposures = {{true, 2}, {false, 0}, {true, 5}};
+  // Timings stay zero: the golden string must be reproducible.
+  const std::string expected =
+      "{\"report\":\"mutant_coverage\",\"method\":\"transition-tour\","
+      "\"mutants\":3,\"exposed\":2,\"equivalent\":1,"
+      "\"exposure_rate\":0.6666666666666666,"
+      "\"sequences\":4,\"test_length\":40,"
+      "\"exposure_latency\":["
+      "{\"exposed\":true,\"sequences\":2},"
+      "{\"exposed\":false},"
+      "{\"exposed\":true,\"sequences\":5}],"
+      "\"timings\":{\"model_build_seconds\":0,\"symbolic_seconds\":0,"
+      "\"tour_seconds\":0,\"concretize_seconds\":0,"
+      "\"simulate_seconds\":0,\"total_seconds\":0}}";
+  EXPECT_EQ(core::to_json(core::TestMethod::kTransitionTourSet, r), expected);
+}
+
+TEST(ReportJsonGolden, GeneratorSectionOnlyForNonDefaultSpec) {
+  // The default transition-tour spec emits no "generator" section at all —
+  // pre-generator-layer reports stay byte-identical (the campaign golden
+  // above already pins that). A non-default spec appends the section after
+  // "timings" with every sequence-shaping knob echoed.
+  const std::string without = core::to_json(golden_result());
+  EXPECT_EQ(without.find("\"generator\""), std::string::npos);
+
+  auto result = golden_result();
+  result.generator.kind = core::GeneratorKind::kBiasedRandom;
+  result.generator.sequence_length = 32;
+  result.generator.max_walk_steps = 2048;
+  result.generator.bias_strength = 4;
+  result.generator.hybrid_tour_steps = 512;
+  const std::string with = core::to_json(result);
+  EXPECT_NE(with.find("\"generator\":{\"kind\":\"biased_random\","
+                      "\"sequence_length\":32,\"max_walk_steps\":2048,"
+                      "\"bias_strength\":4,\"hybrid_tour_steps\":512}"),
+            std::string::npos);
+  // Appended after timings: the default-spec document is a byte-identical
+  // prefix of the non-default one.
+  EXPECT_EQ(with.rfind(without.substr(0, without.size() - 1), 0), 0u);
+}
+
 TEST(ReportJsonGolden, SymbolicBackendRendersBackendTag) {
   auto result = golden_result();
   result.backend = model::Backend::kSymbolic;
