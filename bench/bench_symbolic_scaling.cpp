@@ -7,6 +7,10 @@
 // symbolic statistics (reachable states, transitions, TR size, runtimes),
 // showing explicit enumeration falling behind while the BDD representation
 // stays compact.
+//
+// `--reorder on` builds every size under ReorderPolicy::kAuto, adding
+// sifting-pass and peak-node columns so the effect of dynamic reordering
+// on the sweep is visible in the same table.
 #include <cmath>
 #include <cstdio>
 
@@ -18,10 +22,12 @@
 int main(int argc, char** argv) {
   simcov::bench::init(argc, argv);
   using namespace simcov;
+  const bool reorder = bench::reorder();
   bench::header("Symbolic traversal scaling over register-file width");
-  std::printf("\n  %-10s %8s %6s %12s %12s %10s %8s %8s\n", "reg bits",
-              "latches", "PIs", "reached", "transitions", "TR nodes",
-              "build s", "reach s");
+  bench::row("dynamic reordering", reorder ? "on (kAuto)" : "off");
+  std::printf("\n  %-10s %8s %6s %12s %12s %10s %8s %8s %10s %8s\n",
+              "reg bits", "latches", "PIs", "reached", "transitions",
+              "TR nodes", "build s", "reach s", "peak", "sifts");
 
   std::vector<sym::SymbolicFsmStats> all_stats;
   for (const unsigned reg_bits : {1u, 2u, 3u, 4u, 5u}) {
@@ -34,16 +40,19 @@ int main(int argc, char** argv) {
     opt.reg_addr_bits = reg_bits;
     const auto model = testmodel::build_dlx_control_model(opt);
     bdd::BddManager mgr;
+    if (reorder) mgr.set_reorder_policy(bdd::ReorderPolicy::kAuto);
     bench::Timer build;
     sym::SymbolicFsm fsm(mgr, model.circuit);
     const double build_s = build.seconds();
     bench::Timer reach;
     const auto stats = fsm.stats();
     const double reach_s = reach.seconds();
-    std::printf("  %-10u %8u %6u %12.6g %12.6g %10zu %8.3f %8.3f\n", reg_bits,
-                stats.num_latches, stats.num_primary_inputs,
+    const auto bdd_stats = mgr.stats();
+    std::printf("  %-10u %8u %6u %12.6g %12.6g %10zu %8.3f %8.3f %10zu %8zu\n",
+                reg_bits, stats.num_latches, stats.num_primary_inputs,
                 stats.reachable_states, stats.transitions,
-                stats.transition_relation_nodes, build_s, reach_s);
+                stats.transition_relation_nodes, build_s, reach_s,
+                bdd_stats.peak_live_nodes, bdd_stats.reorders);
     std::fflush(stdout);
     all_stats.push_back(stats);
   }

@@ -21,6 +21,10 @@
 // `--generator tour|biased|hybrid` selects the sequence-generation
 // strategy (model/generator_spec.hpp): benches pass generator() into
 // CampaignOptions::generator / MutantCoverageOptions::generator.
+//
+// `--reorder on|off` toggles dynamic BDD variable reordering: benches
+// pass reorder() into CampaignOptions::reorder or set the
+// BddManager reorder policy directly.
 #pragma once
 
 #include <chrono>
@@ -54,6 +58,7 @@ struct Recorder {
   std::string store_dir;
   bool resume = false;
   bool packed = false;
+  bool reorder = false;
   model::GeneratorSpec generator;
   std::vector<Section> sections;
   /// (key, raw JSON document) pairs embedded verbatim by finish().
@@ -85,7 +90,8 @@ struct Recorder {
 
 /// Parses bench command-line flags (`--json <path>`, `--trace <path>`,
 /// `--perfetto <path>`, `--metrics <path>`, `--store <dir>`, `--resume`,
-/// `--packed on|off`, `--generator tour|biased|hybrid`).
+/// `--packed on|off`, `--reorder on|off`,
+/// `--generator tour|biased|hybrid`).
 /// Exits with status 2 on anything unrecognized or an unopenable trace.
 inline void init(int argc, char** argv) {
   auto& rec = detail::Recorder::instance();
@@ -127,6 +133,14 @@ inline void init(int argc, char** argv) {
         std::exit(2);
       }
       rec.packed = value == "on";
+    } else if (arg == "--reorder" && i + 1 < argc) {
+      const std::string value(argv[++i]);
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "%s: --reorder expects on|off, got '%s'\n",
+                     rec.binary.c_str(), value.c_str());
+        std::exit(2);
+      }
+      rec.reorder = value == "on";
     } else if (arg == "--generator" && i + 1 < argc) {
       const std::string value(argv[++i]);
       const auto kind = model::parse_generator_kind(value);
@@ -142,6 +156,7 @@ inline void init(int argc, char** argv) {
                    "usage: %s [--json <path>] [--trace <path>] "
                    "[--perfetto <path>] [--metrics <path>] "
                    "[--store <dir>] [--resume] [--packed on|off] "
+                   "[--reorder on|off] "
                    "[--generator tour|biased|hybrid]\n",
                    rec.binary.c_str());
       std::exit(2);
@@ -189,6 +204,12 @@ inline void init(int argc, char** argv) {
 /// MutantCoverageOptions::packed (the bit-parallel 64-lane replay paths).
 [[nodiscard]] inline bool packed() {
   return detail::Recorder::instance().packed;
+}
+
+/// True when `--reorder on` was given — plugs into CampaignOptions::reorder
+/// (dynamic BDD variable reordering via sifting).
+[[nodiscard]] inline bool reorder() {
+  return detail::Recorder::instance().reorder;
 }
 
 /// The `--generator` spec (default: transition tour, the paper's method) —

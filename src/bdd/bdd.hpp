@@ -8,12 +8,17 @@
 // Design notes:
 //  * Nodes are hash-consed in a unique table, so structural equality of
 //    functions is pointer (index) equality.
-//  * Variable identifiers double as ordering levels: variable 0 is the
-//    topmost level. There is no dynamic reordering; callers choose a good
-//    static order (e.g. interleaving present/next-state variables).
+//  * Variable identifiers are decoupled from ordering levels: every manager
+//    maintains an explicit var->level / level->var bijection. Newly created
+//    variables append at the bottom of the order, so until the first reorder
+//    the id sequence IS the order (variable 0 on top). Rudell-style sifting
+//    (`try_reorder`, or automatic via `ReorderPolicy::kAuto`) permutes
+//    levels in place; variable ids, node indices, and external handles all
+//    stay valid across a reorder.
 //  * `Bdd` is an RAII external handle. Externally referenced nodes (and
-//    everything below them) survive garbage collection; all other nodes are
-//    reclaimed when the manager decides to collect.
+//    everything below them) survive mark-and-sweep garbage collection
+//    (`collect_garbage`, auto-triggered on table growth); all other nodes
+//    are reclaimed onto a free list.
 //  * No complement edges: simpler invariants, negligible cost at the sizes
 //    this library targets (tens of state bits).
 #pragma once
@@ -32,6 +37,13 @@ class BddManager;
 
 /// Index of a node inside a BddManager. 0 and 1 are the constant leaves.
 using NodeIndex = std::uint32_t;
+
+/// Dynamic variable reordering policy of a manager.
+///  * kNone: the order only changes via explicit `try_reorder`/`set_order`
+///    calls (default; matches the historical static-order behaviour).
+///  * kAuto: public operation entry points additionally trigger sifting when
+///    the live node count crosses an adaptive threshold.
+enum class ReorderPolicy : std::uint8_t { kNone = 0, kAuto = 1 };
 
 /// RAII handle to a BDD node. Copying bumps the external reference count;
 /// destruction releases it. A default-constructed handle is "null" and may
@@ -56,7 +68,8 @@ class Bdd {
     return valid() && idx_ <= 1;
   }
 
-  /// Top variable (ordering level). Precondition: non-constant node.
+  /// Variable id of the root node (the topmost-ordered variable in the
+  /// function's support). Precondition: non-constant node.
   [[nodiscard]] unsigned top_var() const;
   /// Negative/positive cofactor children. Precondition: non-constant node.
   [[nodiscard]] Bdd low() const;
@@ -102,6 +115,10 @@ struct BddStats {
   std::size_t cache_lookups = 0;
   std::size_t cache_hits = 0;
   std::size_t gc_runs = 0;
+  std::size_t reorders = 0;          ///< Completed try_reorder passes.
+  std::size_t level_swaps = 0;       ///< Adjacent-level swap primitives run.
+  std::size_t peak_live_nodes = 0;   ///< High-water mark of live node slots.
+  std::uint64_t order_fingerprint = 0;  ///< Hash of the level->var map.
 };
 
 /// The BDD node store and operation engine.
@@ -120,7 +137,8 @@ class BddManager {
   [[nodiscard]] Bdd zero();
   [[nodiscard]] Bdd one();
   /// The projection function of variable `var`. Creates all variables up to
-  /// `var` on demand. Variable ids are ordering levels (0 = top).
+  /// `var` on demand. New variables join at the bottom of the current order,
+  /// so with no reorders variable ids coincide with levels (0 = top).
   [[nodiscard]] Bdd var(unsigned var_id);
   /// Literal: the variable if `positive`, else its negation.
   [[nodiscard]] Bdd literal(unsigned var_id, bool positive);
@@ -158,20 +176,24 @@ class BddManager {
   /// the mapping must be injective on that support.
   [[nodiscard]] Bdd permute(const Bdd& f, std::span<const int> perm);
 
-  /// Positive cube (conjunction) of the given variables.
+  /// Positive cube (conjunction) of the given variables. Duplicate entries
+  /// are deduplicated (the conjunction is idempotent).
   [[nodiscard]] Bdd cube(std::span<const unsigned> vars);
   /// Minterm over `vars`: conjunction of literals with the given values.
+  /// Duplicate (var, value) pairs are deduplicated; conflicting values for
+  /// the same variable throw std::invalid_argument.
   [[nodiscard]] Bdd minterm(std::span<const unsigned> vars,
                             const std::vector<bool>& values);
 
   // ---- Inspection ---------------------------------------------------------
-  /// Variables in the support of f, ascending.
+  /// Variables in the support of f, ascending by id.
   [[nodiscard]] std::vector<unsigned> support(const Bdd& f);
   /// Number of satisfying assignments of f over `num_vars` variables.
   /// Exact for counts below 2^53; larger counts lose low-order precision.
   [[nodiscard]] double sat_count(const Bdd& f, unsigned num_vars);
-  /// One satisfying assignment restricted to `vars` (values for those
-  /// variables; don't-care positions are forced to false).
+  /// One satisfying assignment restricted to `vars`: the lexicographically
+  /// smallest over the listed variables in list order (don't-care positions
+  /// are forced to false). Independent of the current variable order.
   /// Empty optional iff f is the zero function.
   [[nodiscard]] std::optional<std::vector<bool>> pick_minterm(
       const Bdd& f, std::span<const unsigned> vars);
@@ -205,14 +227,69 @@ class BddManager {
   void collect_garbage();
   [[nodiscard]] BddStats stats() const;
 
+  // ---- Variable ordering ---------------------------------------------------
+  /// Ordering level currently assigned to `var_id` (0 = top).
+  /// Throws std::out_of_range for unknown variables.
+  [[nodiscard]] unsigned level_of(unsigned var_id) const {
+    return var2level_.at(var_id);
+  }
+  /// Variable id sitting at ordering level `level`.
+  [[nodiscard]] unsigned var_at_level(unsigned level) const {
+    return level2var_.at(level);
+  }
+  /// The full level->var map, top level first.
+  [[nodiscard]] std::vector<unsigned> level_order() const {
+    return level2var_;
+  }
+  /// Deterministic hash of the level->var map; equal orders hash equal.
+  [[nodiscard]] std::uint64_t order_fingerprint() const noexcept;
+
+  /// Install an explicit order: `level2var[l]` is the variable at level l.
+  /// Must be a permutation of all current variables. Applied as a sequence
+  /// of adjacent-level swaps, so handles and node indices stay valid.
+  /// Invalidates the operation cache.
+  void set_order(std::span<const unsigned> level2var);
+
+  /// Run one deterministic Rudell sifting pass: garbage-collect, sift
+  /// variables (largest subtable first) through all levels keeping the best
+  /// position, abort a sift leg when the table grows past the max-growth
+  /// factor, then collect intermediates and invalidate the operation cache.
+  /// Returns the number of live nodes reclaimed by the pass.
+  std::size_t try_reorder();
+
+  void set_reorder_policy(ReorderPolicy policy) noexcept {
+    reorder_policy_ = policy;
+  }
+  [[nodiscard]] ReorderPolicy reorder_policy() const noexcept {
+    return reorder_policy_;
+  }
+  /// Live-node count beyond which kAuto triggers sifting (adapts upward
+  /// after every automatic pass so reordering cannot thrash).
+  void set_reorder_threshold(std::size_t nodes) noexcept {
+    reorder_threshold_ = nodes;
+  }
+  /// Abort factor for one sift leg: a variable stops moving in a direction
+  /// once the table exceeds `factor` times its size at sift start.
+  void set_max_growth(double factor) noexcept { max_growth_ = factor; }
+
  private:
   friend class Bdd;
 
   struct Node {
-    unsigned var;      // level; kInvalidVar for constants / free slots
+    unsigned var;      // variable id; kInvalidVar for constants / free slots
     NodeIndex low;     // also: next free slot when on the free list
     NodeIndex high;
     NodeIndex next;    // unique-table bucket chain
+  };
+  static_assert(sizeof(unsigned) == 4, "Node must stay 16 bytes");
+
+  // Per-variable unique subtable. Since var<->level is a bijection this is
+  // exactly a per-level subtable, but keying by the stable id means a level
+  // swap only touches the two participating tables and never rehashes the
+  // rest of the order.
+  struct SubTable {
+    std::vector<NodeIndex> buckets;  // size is a power of two
+    std::size_t count = 0;           // labelled nodes currently chained
   };
 
   struct CacheEntry {
@@ -222,14 +299,30 @@ class BddManager {
   };
 
   static constexpr unsigned kInvalidVar = 0xffffffffu;
+  /// Ordering level reported for the constant leaves: below every variable,
+  /// so `std::min` over levels picks the recursion's true top variable.
+  static constexpr unsigned kConstLevel = 0xffffffffu;
 
   void ref(NodeIndex idx) noexcept;
   void deref(NodeIndex idx) noexcept;
 
+  void ensure_var(unsigned var_id);
   NodeIndex make_node(unsigned var, NodeIndex low, NodeIndex high);
   NodeIndex alloc_slot();
-  void grow_buckets();
-  void maybe_gc();
+  void grow_subtable(SubTable& table);
+  void maybe_housekeep();
+  std::size_t swap_adjacent_levels(unsigned level);
+  void sift_var(unsigned var_id);
+
+  // Reorder-scoped exact liveness. While `in_reorder_`, every node carries
+  // an in-degree count and a node whose last reference disappears is
+  // unchained and freed immediately. This keeps `allocated - free` equal to
+  // the true live size mid-sift (the metric steering sift_var) and
+  // guarantees swaps never leave dead nodes in the unique table.
+  void rebuild_reorder_indeg();
+  NodeIndex reorder_make(unsigned var, NodeIndex low, NodeIndex high);
+  void reorder_acquire(NodeIndex n) noexcept;
+  void reorder_release(NodeIndex n);
 
   NodeIndex ite_rec(NodeIndex f, NodeIndex g, NodeIndex h);
   NodeIndex not_rec(NodeIndex f);
@@ -248,6 +341,10 @@ class BddManager {
     return nodes_[n].var;
   }
   [[nodiscard]] bool is_const(NodeIndex n) const noexcept { return n <= 1; }
+  /// Ordering level of a node (kConstLevel for the constant leaves).
+  [[nodiscard]] unsigned level_of_node(NodeIndex n) const noexcept {
+    return is_const(n) ? kConstLevel : var2level_[nodes_[n].var];
+  }
 
   // Operation cache.
   enum class Op : std::uint8_t {
@@ -260,26 +357,34 @@ class BddManager {
                   NodeIndex& out);
   void cache_insert(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
                     NodeIndex result);
+  void clear_cache();
 
-  // Pin a node during recursive construction so GC (which never runs
-  // mid-operation; maybe_gc is only called from make_node growth points
-  // between recursion trees) cannot reclaim partial results. We instead
-  // guarantee safety by never collecting inside recursive ops: gc is only
-  // triggered from the public entry points before an operation starts.
+  // GC and reordering never run mid-operation: both are only triggered from
+  // the public entry points (maybe_housekeep) before an operation starts,
+  // so recursive construction never loses partial results and cached
+  // subresults of the running operation stay valid.
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> ext_refs_;  // external refcount per slot
   NodeIndex free_list_ = 0;              // 0 = empty (0 is a constant)
   std::size_t free_count_ = 0;
 
-  std::vector<NodeIndex> buckets_;  // unique table; size is a power of two
-  std::size_t bucket_mask_ = 0;
-  std::size_t live_estimate_ = 0;   // nodes allocated since last gc baseline
+  std::vector<SubTable> subtables_;  // unique table, split per variable id
+  std::size_t live_estimate_ = 0;    // nodes allocated since last gc baseline
   std::size_t gc_threshold_ = 1u << 16;
 
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_ = 0;
 
   unsigned num_vars_ = 0;
+  std::vector<unsigned> var2level_;  // variable id -> ordering level
+  std::vector<unsigned> level2var_;  // ordering level -> variable id
+  ReorderPolicy reorder_policy_ = ReorderPolicy::kNone;
+  std::size_t reorder_threshold_ = 1u << 13;
+  double max_growth_ = 1.2;
+  bool in_reorder_ = false;
+  std::size_t peak_live_ = 0;
+  std::vector<std::uint32_t> reorder_indeg_;  // live only while in_reorder_
+
   std::uint32_t perm_counter_ = 0;  // tags permutations for the cache
 
   mutable BddStats stats_{};

@@ -122,6 +122,18 @@ std::string format_line(TestMethod method, const MutantCoverageResult& r) {
 
 namespace {
 
+/// Fixed-width lowercase hex rendering of the variable-order fingerprint —
+/// a stable string token consumers can diff across runs and thread counts.
+std::string fingerprint_hex(std::uint64_t fp) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fp & 0xfu];
+    fp >>= 4;
+  }
+  return out;
+}
+
 void emit_timings(JsonWriter& w, const PhaseTimings& t) {
   w.begin_object("timings")
       .field("model_build_seconds", t.model_build_seconds)
@@ -225,8 +237,20 @@ std::string to_json(const CampaignResult& result) {
       .field("latches", result.latches)
       .field("primary_inputs", result.primary_inputs)
       .field("states", result.model_states)
-      .field("transitions", result.model_transitions)
-      .end_object();
+      .field("transitions", result.model_transitions);
+  if (result.backend == model::Backend::kSymbolic &&
+      result.bdd_stats.has_value()) {
+    // Ordering/housekeeping summary of the live symbolic engine: the final
+    // variable order (fingerprint of the level->var map), collection and
+    // sifting pass counts, and the peak live-node high-water mark. Gated on
+    // the symbolic backend so explicit-backend reports stay byte-identical.
+    const auto& b = *result.bdd_stats;
+    w.field("bdd_order", fingerprint_hex(b.order_fingerprint))
+        .field("bdd_gc_runs", b.gc_runs)
+        .field("bdd_reorders", b.reorders)
+        .field("bdd_peak_nodes", b.peak_live_nodes);
+  }
+  w.end_object();
   w.begin_object("test_set")
       .field("sequences", result.sequences)
       .field("steps", result.test_length)

@@ -9,8 +9,12 @@
 
 namespace simcov::model {
 
-SymbolicModel::SymbolicModel(const sym::SequentialCircuit& circuit)
-    : fsm_(mgr_, circuit), packed_(circuit) {
+SymbolicModel::SymbolicModel(const sym::SequentialCircuit& circuit,
+                             bdd::ReorderPolicy reorder)
+    // The comma expression installs the reordering policy on the manager
+    // before SymbolicFsm builds the transition relation in it.
+    : fsm_((mgr_.set_reorder_policy(reorder), mgr_), circuit),
+      packed_(circuit) {
   if (fsm_.num_latches() > 63 || fsm_.num_inputs() > 63) {
     throw std::invalid_argument(
         "SymbolicModel: too many variables for packed 64-bit keys");

@@ -26,7 +26,14 @@ class SymbolicModel final : public TestModel {
   /// The circuit must outlive the model (next-state functions reference its
   /// network). Throws std::invalid_argument beyond 63 latches or PIs (the
   /// packed-key limit, far beyond anything the walk could visit anyway).
-  explicit SymbolicModel(const sym::SequentialCircuit& circuit);
+  /// `reorder` is the dynamic-reordering policy of the model's BDD manager,
+  /// applied before the symbolic FSM is built so automatic sifting already
+  /// covers transition-relation construction and the reachability fixpoint.
+  /// Reordering is semantically invisible: every TestModel answer is
+  /// identical under either policy.
+  explicit SymbolicModel(
+      const sym::SequentialCircuit& circuit,
+      bdd::ReorderPolicy reorder = bdd::ReorderPolicy::kNone);
 
   SymbolicModel(const SymbolicModel&) = delete;
   SymbolicModel& operator=(const SymbolicModel&) = delete;

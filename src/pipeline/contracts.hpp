@@ -204,6 +204,16 @@ struct CampaignOptions {
   /// word-level pass) instead of one scalar step() per cycle. A throughput
   /// knob only: reports are byte-identical either way.
   bool packed = false;
+  /// Dynamic variable-reordering policy of the symbolic backend's live BDD
+  /// manager (bdd::ReorderPolicy::kAuto enables growth-triggered sifting).
+  /// A memory/throughput knob only, excluded from the store fingerprints
+  /// (pipeline/store_keys) like `threads` and `packed`: reordering is
+  /// semantically invisible, so the campaign outcome is identical either
+  /// way (only the engine-telemetry sections — bdd stats — differ).
+  /// Ignored by the explicit backend. The dedicated snapshot manager of
+  /// `collect_symbolic_stats` keeps the static order regardless, so stored
+  /// snapshot artifacts never depend on this runtime knob.
+  bdd::ReorderPolicy reorder = bdd::ReorderPolicy::kNone;
 
   // ---- Artifact store (content-addressed caching + checkpoint/resume) ----
   /// Directory of the artifact store. Empty: no store — no caching, no

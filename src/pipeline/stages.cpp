@@ -148,7 +148,8 @@ std::unique_ptr<model::TestModel> select_backend(
           "space exceeds max_states");
     }
   }
-  return std::make_unique<model::SymbolicModel>(built.circuit);
+  return std::make_unique<model::SymbolicModel>(built.circuit,
+                                                options.reorder);
 }
 
 }  // namespace
@@ -193,6 +194,11 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
     // instead of paying a second reachability fixpoint. Nothing to cache.
     result.symbolic_stats = sym_model->fsm().stats();
     result.bdd_stats = sym_model->manager().stats();
+    // Engine housekeeping activity of the live manager. All BDD work runs
+    // on the coordinator thread, so these are deterministic per campaign.
+    sink.counter(obs::Stage::kSymbolic, "bdd.gc", result.bdd_stats->gc_runs);
+    sink.counter(obs::Stage::kSymbolic, "bdd.reorder",
+                 result.bdd_stats->reorders);
   } else if (options.collect_symbolic_stats) {
     // The only expensive path: a dedicated manager pays a full fixpoint.
     if (store != nullptr) {

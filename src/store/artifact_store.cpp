@@ -76,7 +76,9 @@ const char* kind_name(ArtifactKind kind) {
 std::uint32_t schema_version(ArtifactKind kind) {
   switch (kind) {
     case ArtifactKind::kTour: return 1;
-    case ArtifactKind::kSymbolicSnapshot: return 1;
+    // v2: appended reorders/level_swaps/peak_live_nodes/order_fingerprint
+    // to the BddStats tail. v1 entries decode-mismatch and are recomputed.
+    case ArtifactKind::kSymbolicSnapshot: return 2;
     case ArtifactKind::kReport: return 1;
     case ArtifactKind::kCheckpoint: return 1;
   }

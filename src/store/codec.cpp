@@ -137,6 +137,13 @@ void encode_symbolic_snapshot(ByteWriter& w, const SymbolicSnapshot& snap) {
   w.u64(snap.bdd.cache_lookups);
   w.u64(snap.bdd.cache_hits);
   w.u64(snap.bdd.gc_runs);
+  // v2 tail: reordering telemetry. Appended so the field order mirrors the
+  // BddStats declaration; readers of v1 payloads never reach this point
+  // because the store drops entries whose kind version mismatches.
+  w.u64(snap.bdd.reorders);
+  w.u64(snap.bdd.level_swaps);
+  w.u64(snap.bdd.peak_live_nodes);
+  w.u64(snap.bdd.order_fingerprint);
 }
 
 SymbolicSnapshot decode_symbolic_snapshot(ByteReader& r) {
@@ -157,6 +164,10 @@ SymbolicSnapshot decode_symbolic_snapshot(ByteReader& r) {
   snap.bdd.cache_lookups = r.u64();
   snap.bdd.cache_hits = r.u64();
   snap.bdd.gc_runs = r.u64();
+  snap.bdd.reorders = r.u64();
+  snap.bdd.level_swaps = r.u64();
+  snap.bdd.peak_live_nodes = r.u64();
+  snap.bdd.order_fingerprint = r.u64();
   return snap;
 }
 

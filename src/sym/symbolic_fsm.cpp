@@ -50,7 +50,9 @@ SymbolicFsm::SymbolicFsm(bdd::BddManager& mgr, const SequentialCircuit& c)
   const std::size_t num_pi = c.primary_inputs.size();
   const std::size_t num_latch = c.latches.size();
 
-  // Variable order: PIs first, then ps/ns interleaved per latch.
+  // Initial variable order: PIs first, then ps/ns interleaved per latch.
+  // These are stable var ids — sifting may later move their levels, but the
+  // ids recorded here stay valid for the life of the manager.
   pi_vars_.resize(num_pi);
   for (std::size_t k = 0; k < num_pi; ++k) pi_vars_[k] = static_cast<unsigned>(k);
   ps_vars_.resize(num_latch);

@@ -6,8 +6,13 @@
 // paper reports (valid input combinations, reachable states, transitions)
 // are satisfying-assignment counts of the corresponding BDDs.
 //
-// Variable order: primary inputs first (they are quantified innermost-first
-// during image computation), then present/next-state variables interleaved.
+// Initial variable order: primary inputs first (they are quantified
+// innermost-first during image computation), then present/next-state
+// variables interleaved. This is only the order variables are *created* in;
+// dynamic reordering (BddManager sifting) may move levels afterwards. All
+// code here addresses variables by their stable ids (ps_var/ns_var/pi_var),
+// which reordering never changes, so the FSM is reorder-safe by
+// construction.
 #pragma once
 
 #include <cstdint>

@@ -489,5 +489,302 @@ TEST_P(BddSemanticsProperty, RandomDnfMatchesTruthTable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BddSemanticsProperty,
                          ::testing::Range(0, 12));
 
+// ---------------------------------------------------------------------------
+// Variable ordering: id/level decoupling, set_order, sifting
+// ---------------------------------------------------------------------------
+
+class BddReorderTest : public ::testing::Test {
+ protected:
+  BddManager mgr;
+
+  /// Random 5-term DNF over `n` variables (deterministic per seed).
+  Bdd random_dnf(unsigned n, unsigned seed) {
+    std::mt19937 rng(seed);
+    Bdd f = mgr.zero();
+    for (int m = 0; m < 5; ++m) {
+      Bdd term = mgr.one();
+      for (unsigned v = 0; v < n; ++v) {
+        const int pick = static_cast<int>(rng() % 3);
+        if (pick == 0) term &= mgr.var(v);
+        if (pick == 1) term &= !mgr.var(v);
+      }
+      f |= term;
+    }
+    return f;
+  }
+
+  /// Truth table of f over variables 0..n-1 as a bitset-by-assignment.
+  std::vector<bool> truth_table(const Bdd& f, unsigned n) {
+    std::vector<bool> table(std::size_t{1} << n);
+    for (unsigned a = 0; a < (1u << n); ++a) {
+      std::vector<bool> point(n);
+      for (unsigned v = 0; v < n; ++v) point[v] = (a >> v) & 1u;
+      table[a] = mgr.eval(f, point);
+    }
+    return table;
+  }
+};
+
+TEST_F(BddReorderTest, InitialOrderMatchesVariableIds) {
+  (void)mgr.var(3);  // creates vars 0..3
+  for (unsigned v = 0; v < 4; ++v) {
+    EXPECT_EQ(mgr.level_of(v), v);
+    EXPECT_EQ(mgr.var_at_level(v), v);
+  }
+  EXPECT_EQ(mgr.level_order(), (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST_F(BddReorderTest, SetOrderPreservesSemantics) {
+  const unsigned n = 6;
+  const Bdd f = random_dnf(n, 42);
+  const auto before = truth_table(f, n);
+  const auto support_before = mgr.support(f);
+
+  const std::vector<unsigned> reversed{5, 4, 3, 2, 1, 0};
+  mgr.set_order(reversed);
+
+  EXPECT_EQ(mgr.level_order(), reversed);
+  for (unsigned v = 0; v < n; ++v) {
+    EXPECT_EQ(mgr.var_at_level(mgr.level_of(v)), v);  // maps stay bijective
+  }
+  EXPECT_EQ(truth_table(f, n), before);
+  EXPECT_EQ(mgr.support(f), support_before);  // support is id-based
+}
+
+TEST_F(BddReorderTest, SetOrderKeepsHandlesIndicesAndCanonicity) {
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const NodeIndex idx = f.index();
+
+  mgr.set_order(std::vector<unsigned>{2, 1, 0});
+
+  // The handle still points at the same slot and the slot still holds the
+  // same function: rebuilding it hash-conses onto the identical index.
+  EXPECT_EQ(f.index(), idx);
+  const Bdd rebuilt = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  EXPECT_EQ(rebuilt, f);
+  EXPECT_EQ(rebuilt.index(), idx);
+}
+
+TEST_F(BddReorderTest, SetOrderRoundTripRestoresFingerprint) {
+  const Bdd f = random_dnf(5, 7);
+  const std::uint64_t fp0 = mgr.order_fingerprint();
+  const auto table = truth_table(f, 5);
+
+  mgr.set_order(std::vector<unsigned>{4, 2, 0, 3, 1});
+  EXPECT_NE(mgr.order_fingerprint(), fp0);
+  mgr.set_order(std::vector<unsigned>{0, 1, 2, 3, 4});
+  EXPECT_EQ(mgr.order_fingerprint(), fp0);
+  EXPECT_EQ(truth_table(f, 5), table);
+}
+
+TEST_F(BddReorderTest, SetOrderRejectsNonPermutations) {
+  (void)mgr.var(2);  // three variables
+  EXPECT_THROW(mgr.set_order(std::vector<unsigned>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(mgr.set_order(std::vector<unsigned>{0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(mgr.set_order(std::vector<unsigned>{0, 1, 3}),
+               std::invalid_argument);
+}
+
+TEST_F(BddReorderTest, SiftingShrinksAdversarialOrder) {
+  // (x0&x1) | (x2&x3) | (x4&x5) is linear under the pairing order but
+  // exponential when the ands are split across the order. Force the bad
+  // interleaving, then let sifting find its way back.
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3)) |
+                (mgr.var(4) & mgr.var(5));
+  const auto table = truth_table(f, 6);
+
+  mgr.set_order(std::vector<unsigned>{0, 2, 4, 1, 3, 5});
+  const std::size_t bad = f.node_count();
+
+  (void)mgr.try_reorder();
+  const std::size_t sifted = f.node_count();
+
+  EXPECT_LE(sifted * 2, bad);  // at least a 2x reduction on this family
+  EXPECT_EQ(truth_table(f, 6), table);
+  const auto s = mgr.stats();
+  EXPECT_GE(s.reorders, 1u);
+  EXPECT_GT(s.level_swaps, 0u);
+}
+
+TEST_F(BddReorderTest, SiftingIsDeterministicAcrossManagers) {
+  auto run = [](BddManager& m) {
+    const Bdd f = (m.var(0) & m.var(1)) | (m.var(2) & m.var(3)) |
+                  (m.var(4) & m.var(5));
+    m.set_order(std::vector<unsigned>{0, 2, 4, 1, 3, 5});
+    (void)m.try_reorder();
+    return std::make_pair(m.level_order(), m.stats());
+  };
+  BddManager a, b;
+  const auto [order_a, stats_a] = run(a);
+  const auto [order_b, stats_b] = run(b);
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(stats_a.order_fingerprint, stats_b.order_fingerprint);
+  EXPECT_EQ(stats_a.level_swaps, stats_b.level_swaps);
+  EXPECT_EQ(stats_a.live_nodes, stats_b.live_nodes);
+}
+
+TEST_F(BddReorderTest, OperationsAgreeAcrossReorder) {
+  // Results computed before a reorder keep working as operands after it,
+  // and post-reorder recomputation reaches the same canonical nodes.
+  const Bdd f = random_dnf(6, 1);
+  const Bdd g = random_dnf(6, 2);
+  const Bdd pre_and = f & g;
+  const Bdd pre_exists = mgr.exists(f, mgr.cube(std::vector<unsigned>{1, 3}));
+
+  mgr.set_order(std::vector<unsigned>{5, 3, 1, 4, 2, 0});
+  (void)mgr.try_reorder();
+
+  EXPECT_EQ(f & g, pre_and);
+  EXPECT_EQ(mgr.exists(f, mgr.cube(std::vector<unsigned>{1, 3})), pre_exists);
+  EXPECT_EQ(mgr.ite(f, g, !g), (f & g) | ((!f) & !g));
+  for (unsigned v = 0; v < 6; ++v) {
+    EXPECT_EQ(f, mgr.ite(mgr.var(v), mgr.cofactor(f, v, true),
+                         mgr.cofactor(f, v, false)));
+  }
+}
+
+TEST_F(BddReorderTest, AutoPolicyTriggersSifting) {
+  mgr.set_reorder_policy(ReorderPolicy::kAuto);
+  mgr.set_reorder_threshold(64);
+  EXPECT_EQ(mgr.reorder_policy(), ReorderPolicy::kAuto);
+
+  std::mt19937 rng(13);
+  Bdd acc = mgr.zero();
+  for (int round = 0; round < 40; ++round) {
+    Bdd term = mgr.one();
+    for (unsigned v = 0; v < 12; ++v) {
+      const int pick = static_cast<int>(rng() % 3);
+      if (pick == 0) term &= mgr.var(v);
+      if (pick == 1) term &= !mgr.var(v);
+    }
+    acc |= term;
+  }
+  EXPECT_GE(mgr.stats().reorders, 1u);
+  // The accumulated function still evaluates consistently.
+  const auto m = mgr.pick_minterm(acc, std::vector<unsigned>{0, 1, 2, 3, 4, 5,
+                                                             6, 7, 8, 9, 10,
+                                                             11});
+  ASSERT_TRUE(m.has_value());
+  std::vector<bool> point(*m);
+  EXPECT_TRUE(mgr.eval(acc, point));
+}
+
+TEST_F(BddReorderTest, PeakLiveNodesIsMonotoneHighWaterMark) {
+  const auto s0 = mgr.stats();
+  { const Bdd junk = random_dnf(10, 99); (void)junk; }
+  const auto s1 = mgr.stats();
+  mgr.collect_garbage();
+  const auto s2 = mgr.stats();
+  EXPECT_GE(s1.peak_live_nodes, s0.peak_live_nodes);
+  EXPECT_GE(s2.peak_live_nodes, s1.peak_live_nodes);  // GC cannot lower it
+  EXPECT_LE(s2.live_nodes, s2.peak_live_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// cube()/minterm() argument hygiene
+// ---------------------------------------------------------------------------
+
+TEST_F(BddTest, CubeDeduplicatesVariables) {
+  const Bdd deduped = mgr.cube(std::vector<unsigned>{0, 2, 0, 2, 2});
+  EXPECT_EQ(deduped, mgr.var(0) & mgr.var(2));
+  EXPECT_EQ(deduped, mgr.cube(std::vector<unsigned>{0, 2}));
+}
+
+TEST_F(BddTest, MintermDeduplicatesConsistentRepeats) {
+  const std::vector<unsigned> vars{0, 1, 0};
+  const std::vector<bool> vals{true, false, true};
+  EXPECT_EQ(mgr.minterm(vars, vals), mgr.var(0) & !mgr.var(1));
+}
+
+TEST_F(BddTest, MintermConflictingValuesThrow) {
+  const std::vector<unsigned> vars{0, 1, 0};
+  const std::vector<bool> vals{true, false, false};
+  EXPECT_THROW((void)mgr.minterm(vars, vals), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GC invariants
+// ---------------------------------------------------------------------------
+
+TEST_F(BddTest, GcRetainsExactlyTheReachableNodes) {
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3));
+  {
+    Bdd junk = mgr.zero();
+    for (unsigned v = 4; v < 20; ++v) junk ^= mgr.var(v);
+  }
+  mgr.collect_garbage();
+  const auto s = mgr.stats();
+  // Everything not on the free list is reachable from the one live handle.
+  EXPECT_EQ(s.live_nodes, mgr.node_count(f));
+  EXPECT_EQ(s.allocated_nodes, s.live_nodes + s.free_nodes);
+}
+
+TEST_F(BddTest, GcPreservesCofactorStructure) {
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const Bdd lo = f.low();
+  const Bdd hi = f.high();
+  mgr.collect_garbage();
+  // Child handles survive and still stitch back into the parent.
+  EXPECT_EQ(mgr.ite(mgr.var(f.top_var()), hi, lo), f);
+}
+
+TEST_F(BddTest, NoStaleCacheAcrossGc) {
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd before = a & b;  // populates the op cache
+  mgr.collect_garbage();     // must not leave entries for reclaimed slots
+  {
+    Bdd churn = mgr.zero();
+    for (unsigned v = 2; v < 10; ++v) churn |= mgr.var(v) & mgr.var(v - 1);
+  }
+  mgr.collect_garbage();
+  EXPECT_EQ(a & b, before);           // recomputed or validly cached
+  EXPECT_EQ(!(!(a & b)), before);     // derived ops agree too
+  EXPECT_DOUBLE_EQ(mgr.sat_count(a & b, 2), 1.0);
+}
+
+TEST_F(BddTest, FreeSlotsAreReusedAfterGc) {
+  {
+    Bdd junk = mgr.zero();
+    for (unsigned v = 0; v < 12; ++v) junk ^= mgr.var(v);
+  }
+  mgr.collect_garbage();
+  const auto after_gc = mgr.stats();
+  ASSERT_GT(after_gc.free_nodes, 0u);
+  // Rebuilding fills freed slots instead of growing the arena.
+  Bdd f = mgr.zero();
+  for (unsigned v = 0; v < 12; ++v) f ^= mgr.var(v);
+  EXPECT_EQ(mgr.stats().allocated_nodes, after_gc.allocated_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// pick_minterm: lexicographic-in-list-order, reorder-invariant
+// ---------------------------------------------------------------------------
+
+TEST_F(BddTest, PickMintermIsLexSmallestInListOrder) {
+  const Bdd f = mgr.var(0) | mgr.var(1);
+  // Over {0, 1}: var0=false works (f|_{!x0} = x1 != 0), then var1 is forced.
+  const auto m01 = mgr.pick_minterm(f, std::vector<unsigned>{0, 1});
+  ASSERT_TRUE(m01.has_value());
+  EXPECT_EQ(*m01, (std::vector<bool>{false, true}));
+  // Over {1, 0}: var1=false first, then var0 forced — list order decides.
+  const auto m10 = mgr.pick_minterm(f, std::vector<unsigned>{1, 0});
+  ASSERT_TRUE(m10.has_value());
+  EXPECT_EQ(*m10, (std::vector<bool>{false, true}));
+}
+
+TEST_F(BddTest, PickMintermUnaffectedByReorder) {
+  const Bdd f = (mgr.var(0) & !mgr.var(2)) | (mgr.var(1) & mgr.var(3));
+  const std::vector<unsigned> vars{0, 1, 2, 3};
+  const auto before = mgr.pick_minterm(f, vars);
+  ASSERT_TRUE(before.has_value());
+  mgr.set_order(std::vector<unsigned>{3, 1, 2, 0});
+  const auto after = mgr.pick_minterm(f, vars);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, *before);
+}
+
 }  // namespace
 }  // namespace simcov::bdd

@@ -778,6 +778,29 @@ TEST(PipelineGolden, SymbolicTourMatchesPreRefactorEngine) {
   }
 }
 
+TEST(PipelineGolden, SymbolicTourUnchangedByDynamicReordering) {
+  // The reorder policy is a runtime knob: with it on, the campaign report
+  // must stay byte-identical (modulo engine telemetry, erased exactly like
+  // wall clock) to the static-order golden — at every thread count, since
+  // all BDD work runs on the coordinator thread.
+  core::CampaignOptions options;
+  options.model_options = tiny_model_options();
+  options.method = core::TestMethod::kTransitionTourSet;
+  options.backend = core::BackendChoice::kSymbolic;
+  options.seed = 1;
+  options.reorder = bdd::ReorderPolicy::kAuto;
+  const std::vector<dlx::PipelineBug> bugs{
+      dlx::PipelineBug::kNoLoadUseStall,
+      dlx::PipelineBug::kNoSquashOnTakenBranch,
+  };
+  for (const std::size_t threads : kGoldenThreadCounts) {
+    options.threads = threads;
+    const auto result = core::run_campaign(options, bugs);
+    EXPECT_EQ(semantic_fingerprint(result), kGoldenSymbolicTour)
+        << "threads=" << threads;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Generator layer: pluggable sequence sources at the campaign level
 // ---------------------------------------------------------------------------

@@ -158,6 +158,41 @@ TEST(ReportJsonGolden, SymbolicBackendRendersBackendTag) {
       << "the truncation flag is gone from the schema";
 }
 
+TEST(ReportJsonGolden, SymbolicModelSectionCarriesReorderStats) {
+  auto result = golden_result();
+  result.backend = model::Backend::kSymbolic;
+  bdd::BddStats bstats{};
+  bstats.allocated_nodes = 42;
+  bstats.gc_runs = 4;
+  bstats.reorders = 2;
+  bstats.peak_live_nodes = 321;
+  bstats.order_fingerprint = 0x0123456789abcdefull;
+  result.bdd_stats = bstats;
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"model\":{\"backend\":\"symbolic\",\"latches\":3,"
+                      "\"primary_inputs\":2,\"states\":4,\"transitions\":9,"
+                      "\"bdd_order\":\"0123456789abcdef\",\"bdd_gc_runs\":4,"
+                      "\"bdd_reorders\":2,\"bdd_peak_nodes\":321}"),
+            std::string::npos);
+  // The standalone "bdd" section keeps its original 8-field shape.
+  EXPECT_NE(json.find("\"bdd\":{\"allocated_nodes\":42,"), std::string::npos);
+}
+
+TEST(ReportJsonGolden, ExplicitBackendModelSectionUnchangedByBddStats) {
+  // The reorder summary is keyed on the symbolic backend: an explicit-model
+  // campaign that also collected a BDD snapshot must render the exact
+  // pre-refactor model section.
+  auto result = golden_result();
+  bdd::BddStats bstats{};
+  bstats.reorders = 9;
+  result.bdd_stats = bstats;
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"model\":{\"backend\":\"explicit\",\"latches\":3,"
+                      "\"primary_inputs\":2,\"states\":4,\"transitions\":9}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"bdd_order\""), std::string::npos);
+}
+
 TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
   core::JsonWriter w;
   w.begin_object()

@@ -220,6 +220,10 @@ TEST(CodecTest, SymbolicSnapshotRoundtrips) {
   snap.bdd.cache_lookups = 500;
   snap.bdd.cache_hits = 450;
   snap.bdd.gc_runs = 2;
+  snap.bdd.reorders = 3;
+  snap.bdd.level_swaps = 128;
+  snap.bdd.peak_live_nodes = 77;
+  snap.bdd.order_fingerprint = 0xdeadbeefcafef00dull;
   const auto back = snapshot_from_payload(to_payload(snap));
   EXPECT_EQ(back.fsm.transition_relation_nodes,
             snap.fsm.transition_relation_nodes);
@@ -229,6 +233,10 @@ TEST(CodecTest, SymbolicSnapshotRoundtrips) {
                    snap.fsm.valid_input_combinations);
   EXPECT_EQ(back.bdd.allocated_nodes, snap.bdd.allocated_nodes);
   EXPECT_EQ(back.bdd.gc_runs, snap.bdd.gc_runs);
+  EXPECT_EQ(back.bdd.reorders, snap.bdd.reorders);
+  EXPECT_EQ(back.bdd.level_swaps, snap.bdd.level_swaps);
+  EXPECT_EQ(back.bdd.peak_live_nodes, snap.bdd.peak_live_nodes);
+  EXPECT_EQ(back.bdd.order_fingerprint, snap.bdd.order_fingerprint);
 }
 
 TEST(CodecTest, CheckpointRoundtripsAndRejectsMalformedPayloads) {

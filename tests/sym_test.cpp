@@ -222,6 +222,51 @@ TEST(SymFsm, PreimageInvertsImage) {
   EXPECT_DOUBLE_EQ(fsm.count_states(pred), 2.0);
 }
 
+TEST(SymFsm, ReorderIsSemanticallyInvisible) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager mgr;
+  SymbolicFsm fsm(mgr, c);
+  const bdd::Bdd reached = fsm.reachable_states();
+  const bdd::Bdd img = fsm.image(fsm.initial_states());
+  const double states = fsm.count_states(reached);
+  const double transitions = fsm.count_transitions(reached);
+  const std::uint64_t fp_before = mgr.order_fingerprint();
+
+  (void)mgr.try_reorder();
+
+  // Handles stay valid and recomputation reaches the same functions.
+  EXPECT_EQ(fsm.image(fsm.initial_states()), img);
+  EXPECT_DOUBLE_EQ(fsm.count_states(reached), states);
+  EXPECT_DOUBLE_EQ(fsm.count_transitions(reached), transitions);
+  // ps/ns/pi var ids address the same variables whatever the level map
+  // says now (the order itself may or may not have moved).
+  const std::vector<unsigned> ps{fsm.ps_var(0), fsm.ps_var(1)};
+  const bdd::Bdd s00 = mgr.minterm(ps, std::vector<bool>{false, false});
+  EXPECT_TRUE(mgr.leq(s00, reached));
+  (void)fp_before;
+  EXPECT_GE(mgr.stats().reorders, 1u);
+}
+
+TEST(SymFsm, AutoReorderPolicyGivesIdenticalCounts) {
+  const SequentialCircuit c = counter_circuit();
+  bdd::BddManager static_mgr;
+  SymbolicFsm static_fsm(static_mgr, c);
+  const auto baseline = static_fsm.stats();
+
+  bdd::BddManager auto_mgr;
+  auto_mgr.set_reorder_policy(bdd::ReorderPolicy::kAuto);
+  auto_mgr.set_reorder_threshold(16);
+  SymbolicFsm auto_fsm(auto_mgr, c);
+  const auto reordered = auto_fsm.stats();
+
+  EXPECT_DOUBLE_EQ(reordered.reachable_states, baseline.reachable_states);
+  EXPECT_DOUBLE_EQ(reordered.transitions, baseline.transitions);
+  EXPECT_DOUBLE_EQ(reordered.valid_input_combinations,
+                   baseline.valid_input_combinations);
+  EXPECT_EQ(reordered.reachability_iterations,
+            baseline.reachability_iterations);
+}
+
 TEST(Invariant, HoldsWhenBadUnreachable) {
   // Counter with the top bit forced off: q1 stays 0.
   SequentialCircuit c;

@@ -74,6 +74,32 @@ TEST(SymbolicTour, CoversCounterCompletely) {
   EXPECT_EQ(replay_coverage(c, tour), 8u);
 }
 
+TEST(SymbolicTour, SequencesIdenticalUnderDynamicReordering) {
+  // Dynamic reordering must be semantically invisible: the tour driver
+  // addresses variables by stable id, so an aggressively resifted manager
+  // yields the exact same sequences as a static-order one.
+  const SequentialCircuit c = counter_circuit();
+
+  bdd::BddManager static_mgr;
+  SymbolicFsm static_fsm(static_mgr, c);
+  const auto baseline = symbolic_transition_tour(static_fsm);
+
+  bdd::BddManager auto_mgr;
+  auto_mgr.set_reorder_policy(bdd::ReorderPolicy::kAuto);
+  auto_mgr.set_reorder_threshold(16);  // sift eagerly during construction
+  SymbolicFsm auto_fsm(auto_mgr, c);
+  (void)auto_mgr.try_reorder();  // plus an explicit pass before the tour
+  const auto reordered = symbolic_transition_tour(auto_fsm);
+
+  EXPECT_EQ(reordered.sequences, baseline.sequences);
+  EXPECT_EQ(reordered.steps, baseline.steps);
+  EXPECT_EQ(reordered.restarts, baseline.restarts);
+  EXPECT_EQ(reordered.complete, baseline.complete);
+  EXPECT_DOUBLE_EQ(reordered.transitions_covered,
+                   baseline.transitions_covered);
+  EXPECT_EQ(replay_coverage(c, reordered), 8u);
+}
+
 TEST(SymbolicTour, RespectsStepCap) {
   const SequentialCircuit c = counter_circuit();
   bdd::BddManager mgr;
