@@ -65,7 +65,12 @@ int main(int argc, char** argv) {
   simcov::bench::init(argc, argv);
   using namespace simcov;
 
-  const std::vector<dlx::PipelineBug> bugs{
+  // Bug injection is DLX-specific; with --circuit the campaign validates
+  // an external BLIF netlist and runs clean-only.
+  const bool external = !bench::circuit().empty();
+  const std::vector<dlx::PipelineBug> bugs = external
+      ? std::vector<dlx::PipelineBug>{}
+      : std::vector<dlx::PipelineBug>{
       dlx::PipelineBug::kNoForwardExMemA,
       dlx::PipelineBug::kNoForwardExMemB,
       dlx::PipelineBug::kNoForwardMemWbA,
@@ -86,6 +91,8 @@ int main(int argc, char** argv) {
 
   core::CampaignOptions base;
   base.model_options = tour_model_options();
+  base.circuit_path = bench::circuit();
+  base.vcd_path = bench::vcd();
   base.method = core::TestMethod::kTransitionTourSet;
   base.sink = bench::sink();
   base.store_dir = bench::store_dir();
@@ -99,7 +106,10 @@ int main(int argc, char** argv) {
     base.generator.max_walk_steps = 16384;
   }
 
-  bench::header("Parallel campaign engine: DLX bug-exposure campaign");
+  bench::header(external
+                    ? "Parallel campaign engine: external-circuit campaign"
+                    : "Parallel campaign engine: DLX bug-exposure campaign");
+  bench::row("circuit", external ? bench::circuit() : "DLX control model");
   bench::row("hardware threads",
              static_cast<std::size_t>(std::thread::hardware_concurrency()));
   bench::row("injected bugs", bugs.size());

@@ -25,6 +25,11 @@
 // `--reorder on|off` toggles dynamic BDD variable reordering: benches
 // pass reorder() into CampaignOptions::reorder or set the
 // BddManager reorder policy directly.
+//
+// `--circuit <file.blif>` points campaigns at an external BLIF netlist and
+// `--vcd <path>` requests a VCD waveform of the committed test set:
+// benches pass circuit() / vcd() into CampaignOptions::circuit_path /
+// vcd_path (the src/io frontend).
 #pragma once
 
 #include <chrono>
@@ -56,6 +61,8 @@ struct Recorder {
   std::string binary = "bench";
   std::string json_path;
   std::string store_dir;
+  std::string circuit_path;
+  std::string vcd_path;
   bool resume = false;
   bool packed = false;
   bool reorder = false;
@@ -123,6 +130,10 @@ inline void init(int argc, char** argv) {
       rec.metrics = std::make_unique<obs::MetricsRegistry>();
     } else if (arg == "--store" && i + 1 < argc) {
       rec.store_dir = argv[++i];
+    } else if (arg == "--circuit" && i + 1 < argc) {
+      rec.circuit_path = argv[++i];
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      rec.vcd_path = argv[++i];
     } else if (arg == "--resume") {
       rec.resume = true;
     } else if (arg == "--packed" && i + 1 < argc) {
@@ -155,7 +166,8 @@ inline void init(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--trace <path>] "
                    "[--perfetto <path>] [--metrics <path>] "
-                   "[--store <dir>] [--resume] [--packed on|off] "
+                   "[--store <dir>] [--circuit <file.blif>] "
+                   "[--vcd <path>] [--resume] [--packed on|off] "
                    "[--reorder on|off] "
                    "[--generator tour|biased|hybrid]\n",
                    rec.binary.c_str());
@@ -193,6 +205,18 @@ inline void init(int argc, char** argv) {
 /// CampaignOptions::store_dir.
 [[nodiscard]] inline const std::string& store_dir() {
   return detail::Recorder::instance().store_dir;
+}
+
+/// The --circuit BLIF path (empty when the flag was not given) — plugs
+/// into CampaignOptions::circuit_path (the src/io real-circuit frontend).
+[[nodiscard]] inline const std::string& circuit() {
+  return detail::Recorder::instance().circuit_path;
+}
+
+/// The --vcd output path (empty when the flag was not given) — plugs into
+/// CampaignOptions::vcd_path (waveform export of the committed test set).
+[[nodiscard]] inline const std::string& vcd() {
+  return detail::Recorder::instance().vcd_path;
 }
 
 /// True when --resume was given — plugs into CampaignOptions::resume.

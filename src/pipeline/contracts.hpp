@@ -215,6 +215,24 @@ struct CampaignOptions {
   /// snapshot artifacts never depend on this runtime knob.
   bdd::ReorderPolicy reorder = bdd::ReorderPolicy::kNone;
 
+  // ---- Real-circuit frontend (src/io) ------------------------------------
+  /// Path of a BLIF netlist to campaign on instead of the built-in DLX
+  /// control model. Non-empty: ModelBuildStage parses the file
+  /// (io::BlifReader) and the concretize/simulate stages are replaced by
+  /// direct circuit replay (CircuitReplayStage) — tour generation,
+  /// backends, telemetry, budgets and the artifact store all work
+  /// unchanged. Store keys fingerprint the *lowered netlist content*
+  /// (store::fingerprint_circuit), never this path, so renaming the file
+  /// keeps warm hits and editing it forces a miss. DLX pipeline bugs make
+  /// no sense against an external circuit: run() throws
+  /// std::invalid_argument when `bugs` is non-empty.
+  std::string circuit_path;
+  /// Write the committed test set as a VCD waveform here (empty: off).
+  /// Every committed sequence is replayed through the campaign circuit —
+  /// external or DLX — and serialized as its own `$scope` by io::VcdWriter;
+  /// deterministic, so identical campaigns produce byte-identical files.
+  std::string vcd_path;
+
   // ---- Artifact store (content-addressed caching + checkpoint/resume) ----
   /// Directory of the artifact store. Empty: no store — no caching, no
   /// checkpoints. The tour and symbolic-snapshot stages consult the store

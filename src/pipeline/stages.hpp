@@ -22,14 +22,17 @@
 #include "pipeline/contracts.hpp"
 #include "runtime/thread_pool.hpp"
 #include "store/artifact_store.hpp"
+#include "sym/circuit_replay.hpp"
 #include "tour/tour.hpp"
 #include "validate/concretize.hpp"
 
 namespace simcov::pipeline {
 
-/// Builds the DLX control test model, resolves the backend choice and
-/// counts the reachable state space. Fills the model-shape fields of the
-/// result. One kModelBuild span.
+/// Builds the campaign's test model — the DLX control model by default, or
+/// an external BLIF netlist when CampaignOptions::circuit_path is set
+/// (io::BlifReader; malformed files surface as std::invalid_argument) —
+/// resolves the backend choice and counts the reachable state space. Fills
+/// the model-shape fields of the result. One kModelBuild span.
 struct ModelBuildStage {
   struct Output {
     /// Heap-boxed: SymbolicModel keeps a reference to the circuit, so the
@@ -39,6 +42,11 @@ struct ModelBuildStage {
     /// Non-null when the resolved backend is the explicit one (state-tour
     /// and W-method generation need the underlying machine).
     model::ExplicitModel* explicit_model = nullptr;
+    /// The campaign runs on a loaded netlist, not the DLX model: the
+    /// executor swaps concretize/simulate for CircuitReplayStage.
+    bool external_circuit = false;
+    /// `.model` name of the loaded netlist (empty for DLX campaigns).
+    std::string circuit_name;
   };
 
   static Output run(const CampaignOptions& options, obs::EventSink& sink,
@@ -110,6 +118,25 @@ struct SimulateStage {
                         std::span<RunMetrics> out, runtime::ThreadPool& pool,
                         const CancellationToken& cancel,
                         obs::EventSink& sink);
+};
+
+/// External-circuit replacement for ConcretizeStage + SimulateStage: runs
+/// one batch of committed tour sequences directly on the loaded netlist
+/// (sym::CircuitReplayer), sharded over the pool with per-index slots.
+/// RunMetrics mirror SimulateStage's: impl_cycles and checkpoints count
+/// the replayed cycles, `passed` is the validity verdict, and a sequence
+/// cut short by max_cycles reports budget_exhausted. When `packed` is set
+/// and the circuit fits the 64-bit packed-key encoding (≤ 63 latches and
+/// primary inputs), blocks of 64 sequences share one word-level
+/// PackedCircuitSim pass per cycle; verdicts are byte-identical to the
+/// scalar path either way. One kSimulate span per call.
+struct CircuitReplayStage {
+  static void run_batch(const sym::CircuitReplayer& replayer,
+                        std::span<const std::vector<std::vector<bool>>> batch,
+                        std::size_t first_sequence, std::size_t max_cycles,
+                        bool packed, std::span<RunMetrics> out,
+                        runtime::ThreadPool& pool,
+                        const CancellationToken& cancel, obs::EventSink& sink);
 };
 
 /// Per-bug exposure runs over the full concretized test set: independent

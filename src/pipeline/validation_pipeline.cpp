@@ -4,13 +4,17 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "io/vcd.hpp"
 #include "pipeline/stages.hpp"
 #include "pipeline/store_keys.hpp"
 #include "runtime/thread_pool.hpp"
 #include "store/codec.hpp"
 #include "store/tour_cache.hpp"
+#include "sym/circuit_replay.hpp"
 #include "validate/harness.hpp"
 
 namespace simcov::pipeline {
@@ -55,6 +59,15 @@ CampaignResult ValidationPipeline::run(
 
   CampaignResult result;
   auto build = ModelBuildStage::run(options_, sink, result);
+  if (build.external_circuit && !bugs.empty()) {
+    throw std::invalid_argument(
+        "run_campaign: DLX pipeline bugs cannot run against an external "
+        "circuit (CampaignOptions::circuit_path); pass an empty bug list");
+  }
+  // External circuits replace concretize/simulate with direct replay; one
+  // replayer serves every worker (replay() is const and allocation-local).
+  std::optional<sym::CircuitReplayer> replayer;
+  if (build.external_circuit) replayer.emplace(build.built->circuit);
 
   // Coverage telemetry replays committed sequences through the model on the
   // coordinator thread — the one account that is identical for live,
@@ -111,6 +124,10 @@ CampaignResult ValidationPipeline::run(
                                  : 2 * pool.size();
 
   std::vector<validate::ConcretizedProgram> programs;
+  // Committed sequences retained for the VCD export (they otherwise die at
+  // batch commit). Store-replayed and resumed campaigns re-pull the same
+  // deterministic stream, so the retained set is always the full test set.
+  std::vector<std::vector<std::vector<bool>>> vcd_sequences;
   auto tour_status = obs::StageStatus::kOk;
   auto concretize_status = obs::StageStatus::kOk;
   auto simulate_status = obs::StageStatus::kOk;
@@ -181,19 +198,23 @@ CampaignResult ValidationPipeline::run(
     const std::size_t first = result.clean_runs.size();
 
     // Concretize the batch (backend-neutral: each tour step is already a
-    // primary-input bit vector).
-    std::vector<validate::ConcretizedProgram> batch_programs(batch.size());
-    ConcretizeStage::run_batch(*build.built, batch, first, batch_programs,
-                               pool, cancel, sink);
-    if (cancel.cancelled()) {
-      // The pool drained mid-batch: unclaimed slots are empty. Drop the
-      // whole batch — per-batch atomicity keeps the retained prefix exact.
-      concretize_status = obs::StageStatus::kCancelled;
-      break;
-    }
-    for (std::size_t i = 0; i < batch_programs.size(); ++i) {
-      sink.item(obs::Stage::kConcretize, "program", first + i,
-                batch_programs[i].instructions.size());
+    // primary-input bit vector). External circuits skip the stage — their
+    // sequences replay directly, no DLX program in between.
+    std::vector<validate::ConcretizedProgram> batch_programs(
+        build.external_circuit ? 0 : batch.size());
+    if (!build.external_circuit) {
+      ConcretizeStage::run_batch(*build.built, batch, first, batch_programs,
+                                 pool, cancel, sink);
+      if (cancel.cancelled()) {
+        // The pool drained mid-batch: unclaimed slots are empty. Drop the
+        // whole batch — per-batch atomicity keeps the retained prefix exact.
+        concretize_status = obs::StageStatus::kCancelled;
+        break;
+      }
+      for (std::size_t i = 0; i < batch_programs.size(); ++i) {
+        sink.item(obs::Stage::kConcretize, "program", first + i,
+                  batch_programs[i].instructions.size());
+      }
     }
 
     // Clean runs: the bug-free implementation must pass everything. A
@@ -209,6 +230,14 @@ CampaignResult ValidationPipeline::run(
                                    r.passed, r.budget_exhausted};
       }
       restored_used += batch.size();
+    } else if (build.external_circuit) {
+      CircuitReplayStage::run_batch(*replayer, batch, first,
+                                    options_.max_cycles, options_.packed,
+                                    batch_runs, pool, cancel, sink);
+      if (cancel.cancelled()) {
+        simulate_status = obs::StageStatus::kCancelled;
+        break;
+      }
     } else {
       SimulateStage::run_batch(batch_programs, first, options_.max_cycles,
                                batch_runs, pool, cancel, sink);
@@ -225,12 +254,15 @@ CampaignResult ValidationPipeline::run(
                 batch_runs[i].impl_cycles);
       result.sequences += 1;
       result.test_length += batch[i].size();
-      result.total_instructions += batch_programs[i].instructions.size();
       result.clean_runs.push_back(batch_runs[i]);
       if (telemetry.has_value() && !options_.packed) {
         telemetry->commit_sequence(batch[i]);
       }
-      programs.push_back(std::move(batch_programs[i]));
+      if (!options_.vcd_path.empty()) vcd_sequences.push_back(batch[i]);
+      if (!build.external_circuit) {
+        result.total_instructions += batch_programs[i].instructions.size();
+        programs.push_back(std::move(batch_programs[i]));
+      }
     }
     // Packed telemetry replays the whole committed batch through the
     // bit-parallel batch stepper at once; the collector folds in batch
@@ -334,6 +366,23 @@ CampaignResult ValidationPipeline::run(
   if (store != nullptr && stream_complete &&
       compare_status == obs::StageStatus::kOk) {
     store->erase(store::ArtifactKind::kCheckpoint, keys.checkpoint);
+  }
+
+  // VCD export: replay every committed sequence through the campaign
+  // circuit (external or DLX) and serialize the traces. Deterministic —
+  // identical campaigns, at any thread count, warm or cold, produce
+  // byte-identical waveforms.
+  if (!options_.vcd_path.empty()) {
+    if (!replayer.has_value()) replayer.emplace(build.built->circuit);
+    io::VcdWriter vcd(build.built->circuit,
+                      build.circuit_name.empty() ? "dlx"
+                                                 : build.circuit_name);
+    for (std::size_t i = 0; i < vcd_sequences.size(); ++i) {
+      vcd.add_sequence(
+          "seq" + std::to_string(i),
+          replayer->replay(vcd_sequences[i], options_.max_cycles));
+    }
+    vcd.write_file(options_.vcd_path);
   }
 
   for (const auto& r : result.clean_runs) {

@@ -1,0 +1,211 @@
+// Tests for io::VcdWriter: header/declaration structure, per-sequence
+// scopes, initial-x dumpvars, change-only emission with strictly
+// increasing timestamps, value agreement with the replayed trace, name
+// sanitization, shape validation, and byte determinism.
+#include "io/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/blif.hpp"
+#include "sym/circuit_replay.hpp"
+
+namespace simcov::io {
+namespace {
+
+sym::SequentialCircuit toggle_circuit() {
+  // One input, one latch (t' = en ^ t), outputs q (the latch) and en's
+  // complement — enough to see input, state and output columns move.
+  return BlifReader()
+      .read_string(
+          ".model toggle\n"
+          ".inputs en\n"
+          ".outputs q nen\n"
+          ".latch nt q 0\n"
+          ".names en q nt\n01 1\n10 1\n"
+          ".names en nen\n0 1\n"
+          ".end\n")
+      .circuit;
+}
+
+std::vector<std::vector<bool>> bits(std::initializer_list<int> steps) {
+  std::vector<std::vector<bool>> out;
+  for (int v : steps) out.push_back({v != 0});
+  return out;
+}
+
+/// Minimal structural VCD check: every declared id is unique per scope,
+/// every value change refers to a declared id, timestamps strictly
+/// increase, and `$dumpvars` covers every id with 'x'.
+struct ParsedVcd {
+  std::set<std::string> ids;
+  std::vector<std::string> scopes;
+  std::size_t num_changes = 0;
+  std::map<std::string, char> final_value;
+};
+
+ParsedVcd parse_vcd(const std::string& text) {
+  ParsedVcd parsed;
+  std::istringstream in(text);
+  std::string line;
+  long last_time = -1;
+  bool in_dump = false;
+  std::set<std::string> dumped;
+  bool definitions_done = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream tok(line);
+    std::string first;
+    tok >> first;
+    if (first == "$scope") {
+      std::string kind, name;
+      tok >> kind >> name;
+      EXPECT_EQ(kind, "module") << line;
+      parsed.scopes.push_back(name);
+    } else if (first == "$var") {
+      std::string kind, width, id, name;
+      tok >> kind >> width >> id >> name;
+      EXPECT_EQ(kind, "wire") << line;
+      EXPECT_EQ(width, "1") << line;
+      EXPECT_FALSE(id.empty()) << line;
+      parsed.ids.insert(id);
+    } else if (first == "$enddefinitions") {
+      definitions_done = true;
+    } else if (first == "$dumpvars") {
+      in_dump = true;
+    } else if (first == "$end" && in_dump) {
+      in_dump = false;
+      EXPECT_EQ(dumped, parsed.ids) << "$dumpvars must cover every $var";
+    } else if (first[0] == '#') {
+      const long t = std::stol(first.substr(1));
+      EXPECT_GT(t, last_time) << "timestamps must strictly increase";
+      last_time = t;
+    } else if (first[0] == '0' || first[0] == '1' || first[0] == 'x') {
+      EXPECT_TRUE(definitions_done || in_dump) << line;
+      const std::string id = first.substr(1);
+      EXPECT_TRUE(parsed.ids.count(id)) << "undeclared id in: " << line;
+      if (in_dump) {
+        EXPECT_EQ(first[0], 'x') << "$dumpvars must initialize to x";
+        dumped.insert(id);
+      } else {
+        ++parsed.num_changes;
+      }
+      parsed.final_value[id] = first[0];
+    }
+  }
+  EXPECT_TRUE(definitions_done);
+  return parsed;
+}
+
+TEST(VcdWriterTest, DeclaresOneScopePerSequenceWithAllSignals) {
+  const auto circuit = toggle_circuit();
+  VcdWriter vcd(circuit, "toggle");
+  vcd.add_sequence("seq0", sym::replay_sequence(circuit, bits({1, 1, 0})));
+  vcd.add_sequence("seq1", sym::replay_sequence(circuit, bits({0, 1})));
+  EXPECT_EQ(vcd.num_sequences(), 2u);
+
+  const std::string text = vcd.to_string();
+  const auto parsed = parse_vcd(text);
+  ASSERT_EQ(parsed.scopes.size(), 3u);  // top module + one per sequence
+  EXPECT_EQ(parsed.scopes[0], "toggle");
+  EXPECT_EQ(parsed.scopes[1], "seq0");
+  EXPECT_EQ(parsed.scopes[2], "seq1");
+  // 2 sequences x (1 PI + 1 latch + 2 outputs) distinct ids.
+  EXPECT_EQ(parsed.ids.size(), 8u);
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find(" en "), std::string::npos);
+  EXPECT_NE(text.find(" q "), std::string::npos);
+  EXPECT_NE(text.find(" nen "), std::string::npos);
+}
+
+TEST(VcdWriterTest, ValuesMatchTheReplayedTrace) {
+  const auto circuit = toggle_circuit();
+  const auto trace = sym::replay_sequence(circuit, bits({1, 1, 1}));
+  // q toggles 0,1,0 across the three cycles and ends at 1.
+  ASSERT_EQ(trace.steps, 3u);
+  EXPECT_FALSE(trace.states[0][0]);
+  EXPECT_TRUE(trace.states[1][0]);
+  EXPECT_FALSE(trace.states[2][0]);
+  EXPECT_TRUE(trace.states[3][0]);
+
+  VcdWriter vcd(circuit);
+  vcd.add_sequence("s", trace);
+  const std::string text = vcd.to_string();
+  const auto parsed = parse_vcd(text);
+  // The final sample of every signal is parked at x except the latch,
+  // whose trailing tick exposes the final state... which is itself parked
+  // after the sequence ends — but this is the last sequence, so the final
+  // latch value (1) survives as the last change before the closing time.
+  // There must be at least one change per signal beyond the dump.
+  EXPECT_GE(parsed.num_changes, 8u);
+  // Timeline: 3 cycles + trailing tick => final timestamp is 4.
+  EXPECT_NE(text.find("\n#4\n"), std::string::npos);
+}
+
+TEST(VcdWriterTest, SequencesPlayBackToBackOnOneTimeline) {
+  const auto circuit = toggle_circuit();
+  VcdWriter vcd(circuit);
+  vcd.add_sequence("a", sym::replay_sequence(circuit, bits({1, 0})));
+  vcd.add_sequence("b", sym::replay_sequence(circuit, bits({1})));
+  const std::string text = vcd.to_string();
+  // seq a occupies [0,3) (2 cycles + trailing tick), seq b starts at 3.
+  EXPECT_NE(text.find("\n#3\n"), std::string::npos);
+  EXPECT_NE(text.find("\n#5\n"), std::string::npos);
+  (void)parse_vcd(text);  // structural checks (monotonic time, ids)
+}
+
+TEST(VcdWriterTest, SanitizesScopeAndSignalNames) {
+  const auto circuit = toggle_circuit();
+  VcdWriter vcd(circuit, "my top");
+  vcd.add_sequence("seq one", sym::replay_sequence(circuit, bits({1})));
+  const std::string text = vcd.to_string();
+  EXPECT_NE(text.find("$scope module my_top"), std::string::npos);
+  EXPECT_NE(text.find("$scope module seq_one"), std::string::npos);
+}
+
+TEST(VcdWriterTest, RejectsTracesWithMismatchedShape) {
+  const auto circuit = toggle_circuit();
+  const auto other = BlifReader()
+                         .read_string(
+                             ".inputs a b\n.outputs y\n"
+                             ".names a b y\n11 1\n.end\n")
+                         .circuit;
+  VcdWriter vcd(circuit);
+  const std::vector<std::vector<bool>> two_wide{{true, true}};
+  EXPECT_THROW(
+      vcd.add_sequence("bad", sym::replay_sequence(other, two_wide)),
+      std::invalid_argument);
+  // A well-shaped trace is still accepted afterwards.
+  vcd.add_sequence("good", sym::replay_sequence(circuit, bits({1})));
+  EXPECT_EQ(vcd.num_sequences(), 1u);
+}
+
+TEST(VcdWriterTest, OutputIsByteDeterministic) {
+  const auto circuit = toggle_circuit();
+  const auto make = [&] {
+    VcdWriter vcd(circuit, "det");
+    vcd.add_sequence("s0", sym::replay_sequence(circuit, bits({1, 0, 1})));
+    vcd.add_sequence("s1", sym::replay_sequence(circuit, bits({0, 0})));
+    return vcd.to_string();
+  };
+  EXPECT_EQ(make(), make());
+  // No wall-clock leakage: a VCD $date section would break cold/warm diffs.
+  EXPECT_EQ(make().find("$date"), std::string::npos);
+}
+
+TEST(VcdWriterTest, WriteFileFailsOnUnwritablePath) {
+  const auto circuit = toggle_circuit();
+  VcdWriter vcd(circuit);
+  vcd.add_sequence("s", sym::replay_sequence(circuit, bits({1})));
+  EXPECT_THROW(vcd.write_file("/nonexistent-dir/x.vcd"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace simcov::io
