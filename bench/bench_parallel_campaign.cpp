@@ -45,8 +45,9 @@ simcov::testmodel::TestModelOptions tour_model_options() {
 std::string semantic_fingerprint(simcov::core::CampaignResult result) {
   result.timings = {};
   result.store_stats.reset();
-  result.metrics.reset();  // wall-clock; coverage_telemetry stays — it is
-                           // deterministic and part of the identity check
+  result.baseline.reset();  // wall-clock comparison, never semantic
+  result.metrics.reset();   // wall-clock; coverage_telemetry stays — it is
+                            // deterministic and part of the identity check
   return simcov::core::to_json(result);
 }
 
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
   base.collect_coverage_telemetry = true;
   base.packed = bench::packed();
   base.generator = bench::generator();
+  base.monitor = bench::monitor();
+  base.baseline_check = bench::baseline_check();
   if (base.generator.kind != core::GeneratorKind::kTransitionTour) {
     // Smoke-scale walk budget: the identity claims below hold at any
     // budget, and CI runs this bench once per generator.
@@ -223,6 +226,12 @@ int main(int argc, char** argv) {
     const auto& s = *parallel_result.store_stats;
     bench::row("store hits (last run)", std::size_t{s.hits});
     bench::row("store misses (last run)", std::size_t{s.misses});
+  }
+  if (parallel_result.baseline.has_value()) {
+    const auto& b = *parallel_result.baseline;
+    bench::row("perf baseline found", b.found ? "yes" : "no (published)");
+    bench::row("perf baseline regression", b.regression ? "YES" : "no");
+    if (b.found) bench::row("perf baseline wall ratio", b.wall_ratio);
   }
   if (speedup_at_4 > 0.0) {
     std::printf("  %-52s %.2fx\n", "speedup at 4 threads", speedup_at_4);

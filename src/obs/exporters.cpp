@@ -225,7 +225,79 @@ std::vector<std::vector<const MetricEntry<Value>*>> group_by_name(
   return groups;
 }
 
+/// HELP text is a single line: escape backslash and newline per the
+/// exposition format so arbitrary text cannot break the frame.
+std::string escape_help_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_help_text(std::string_view name) {
+  struct Entry {
+    std::string_view name;
+    std::string_view help;
+  };
+  // The event vocabulary the pipeline emits today. New names fall through
+  // to the generic line below, so HELP coverage never regresses to absent.
+  static constexpr Entry kKnown[] = {
+      {"span_ns", "Stage batch span durations in nanoseconds."},
+      {"sequence", "Tour sequence lengths in steps."},
+      {"sequence.latency_ns", "Per-sequence tour pull latency, nanoseconds."},
+      {"program", "Concretized program lengths in instructions."},
+      {"program.latency_ns",
+       "Per-program concretization latency, nanoseconds."},
+      {"clean_run", "Implementation cycles per committed clean run."},
+      {"clean_run.latency_ns",
+       "Per-run clean simulation latency, nanoseconds."},
+      {"queue_wait.latency_ns",
+       "Worker-pool scheduling delay per claimed index, nanoseconds."},
+      {"store.hit", "Artifact-store lookups served from disk."},
+      {"store.miss", "Artifact-store lookups that forced a recompute."},
+      {"store.evict", "Artifacts removed by the store's LRU size cap."},
+      {"checkpoint.write", "Campaign checkpoints written."},
+      {"states", "Reachable states of the campaign model."},
+      {"transitions", "Reachable transitions of the campaign model."},
+      {"bdd.gc", "Garbage-collection passes of the live BDD manager."},
+      {"bdd.reorder", "Variable-reordering passes of the live BDD manager."},
+      {"bdd_live_nodes", "Live BDD nodes of the symbolic backend."},
+      {"bdd_peak_nodes", "Peak live BDD nodes of the symbolic backend."},
+      {"campaign.stall",
+       "Watchdog stall detections, labelled by the attributed stage."},
+      {"sequences_in_flight_peak",
+       "Peak sequences held in the streaming window."},
+  };
+  for (const Entry& e : kKnown) {
+    if (e.name == name) return std::string(e.help);
+  }
+  return "simcov metric '" + std::string(name) +
+         "', aggregated per pipeline stage.";
+}
 
 std::string write_prometheus_text(const MetricsSummary& summary) {
   std::ostringstream os;
@@ -236,25 +308,33 @@ std::string write_prometheus_text(const MetricsSummary& summary) {
   os.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& group : group_by_name(summary.counters)) {
     const std::string name = sanitize_metric_name(group.front()->name);
+    os << "# HELP " << name << "_total "
+       << escape_help_text(prometheus_help_text(group.front()->name)) << "\n";
     os << "# TYPE " << name << "_total counter\n";
     for (const auto* e : group) {
-      os << name << "_total{stage=\"" << stage_name(e->stage) << "\"} "
+      os << name << "_total{stage=\""
+         << prometheus_escape_label(stage_name(e->stage)) << "\"} "
          << e->value << "\n";
     }
   }
   for (const auto& group : group_by_name(summary.gauges)) {
     const std::string name = sanitize_metric_name(group.front()->name);
+    os << "# HELP " << name << " "
+       << escape_help_text(prometheus_help_text(group.front()->name)) << "\n";
     os << "# TYPE " << name << " gauge\n";
     for (const auto* e : group) {
-      os << name << "{stage=\"" << stage_name(e->stage) << "\"} " << e->value
-         << "\n";
+      os << name << "{stage=\""
+         << prometheus_escape_label(stage_name(e->stage)) << "\"} "
+         << e->value << "\n";
     }
   }
   for (const auto& group : group_by_name(summary.histograms)) {
     const std::string name = sanitize_metric_name(group.front()->name);
+    os << "# HELP " << name << " "
+       << escape_help_text(prometheus_help_text(group.front()->name)) << "\n";
     os << "# TYPE " << name << " histogram\n";
     for (const auto* e : group) {
-      const char* stage = stage_name(e->stage);
+      const std::string stage = prometheus_escape_label(stage_name(e->stage));
       const HistogramSummary& h = e->value;
       // Cumulative buckets; skip the le's where nothing changed to keep the
       // dump readable — cumulative semantics stay exact, and the mandatory

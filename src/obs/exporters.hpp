@@ -67,7 +67,19 @@ class PerfettoTraceSink final : public EventSink {
   std::map<std::string, std::uint64_t> counter_totals_;
 };
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline become \\, \" and \n. Exposed for
+/// the exporter's golden tests.
+[[nodiscard]] std::string prometheus_escape_label(std::string_view value);
+
+/// One-line HELP text of a metric family, looked up by its *raw* event
+/// name (before `simcov_` sanitization); unknown names get a generic
+/// derived line, so every exposed family always carries HELP metadata.
+[[nodiscard]] std::string prometheus_help_text(std::string_view name);
+
 /// Renders a registry snapshot in the Prometheus text exposition format.
+/// Each family carries `# HELP` and `# TYPE` metadata, and every label
+/// value is escaped per the format.
 [[nodiscard]] std::string write_prometheus_text(const MetricsSummary& summary);
 [[nodiscard]] std::string write_prometheus_text(const MetricsRegistry& registry);
 

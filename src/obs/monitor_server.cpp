@@ -1,0 +1,481 @@
+#include "obs/monitor_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/json.hpp"
+#include "obs/exporters.hpp"
+
+namespace simcov::obs {
+
+namespace {
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (write_all(fd, head.data(), head.size())) {
+    write_all(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MonitorServer
+// ---------------------------------------------------------------------------
+
+MonitorServer::MonitorServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("MonitorServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    close_fd(listen_fd_);
+    throw std::runtime_error(std::string("MonitorServer: cannot bind port ") +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("MonitorServer: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MonitorServer::~MonitorServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+}
+
+void MonitorServer::serve_loop() {
+  // Poll with a short timeout so destruction is observed within ~100ms
+  // without needing a self-pipe.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    close_fd(fd);
+  }
+}
+
+void MonitorServer::handle_connection(int fd) {
+  // Read until the end of the request head; scrape requests are tiny, so a
+  // fixed cap (8 KiB) is a correctness bound, not a tuning knob.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) return;  // slow client: drop it
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  // "GET <path> HTTP/1.1"
+  const auto line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_response(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                   "malformed request\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const auto query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    send_response(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                   "GET only\n"});
+    return;
+  }
+  if (auto response = handler_(path)) {
+    send_response(fd, *response);
+  } else {
+    send_response(fd, HttpResponse{404, "text/plain; charset=utf-8",
+                                   "not found\n"});
+  }
+}
+
+std::optional<HttpResult> http_get(std::uint16_t port,
+                                   const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close_fd(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!write_all(fd, request.data(), request.size())) {
+    close_fd(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+
+  // "HTTP/1.1 <status> ..." + head, blank line, body.
+  if (response.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const auto sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) return std::nullopt;
+  HttpResult result;
+  result.status = std::atoi(response.c_str() + sp + 1);
+  const auto head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  result.body = response.substr(head_end + 4);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CampaignMonitor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bucket-upper-bound quantile over a merged bucket array — the same
+/// account MetricsRegistry::summary uses per histogram, applied to
+/// cross-stage merges (queue wait spans every stage that runs a pool).
+std::uint64_t merged_quantile(
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets,
+    std::uint64_t count, double q) {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, q * static_cast<double>(count) + 0.5));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return histogram_bucket_upper_bound(i);
+  }
+  return histogram_bucket_upper_bound(kHistogramBuckets - 1);
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+CampaignMonitor::CampaignMonitor(MonitorOptions options)
+    : options_(options) {
+  WatchdogOptions wopt;
+  wopt.interval_seconds =
+      options_.watchdog_seconds > 0.0 ? options_.watchdog_seconds : 1.0;
+  wopt.stall_intervals = options_.stall_intervals;
+  wopt.series_capacity = options_.series_capacity;
+  watchdog_ = std::make_unique<Watchdog>(registry_, wopt);
+  // Stall events land in the monitor's own registry (surfacing on /metrics
+  // as simcov_campaign_stall_total), never on the campaign report.
+  watchdog_->set_stall_sink(&registry_);
+  if (options_.port >= 0) {
+    server_ = std::make_unique<MonitorServer>(
+        static_cast<std::uint16_t>(options_.port),
+        [this](const std::string& path) { return route(path); });
+  }
+}
+
+CampaignMonitor::~CampaignMonitor() {
+  server_.reset();  // stop serving before the views it reads die
+  watchdog_->stop();
+}
+
+std::uint16_t CampaignMonitor::port() const {
+  return server_ != nullptr ? server_->port() : 0;
+}
+
+void CampaignMonitor::begin_campaign(std::uint64_t transitions_total,
+                                     std::function<std::uint64_t()> queue_depth,
+                                     std::function<void()> cancel) {
+  progress_.begin(transitions_total);
+  watchdog_->set_queue_depth_fn(std::move(queue_depth));
+  watchdog_->set_on_stall(options_.cancel_on_stall ? std::move(cancel)
+                                                   : std::function<void()>());
+  if (options_.watchdog_seconds > 0.0) watchdog_->start();
+}
+
+void CampaignMonitor::on_commit(std::uint64_t committed_sequences,
+                                std::uint64_t committed_steps,
+                                std::uint64_t states_visited,
+                                std::uint64_t transitions_covered) {
+  progress_.on_commit(committed_sequences, committed_steps, states_visited,
+                      transitions_covered);
+}
+
+void CampaignMonitor::end_campaign() {
+  watchdog_->stop();
+  // Clear the campaign-scoped hooks: the pool and the token they capture
+  // die with the pipeline run, while the monitor (and its HTTP server)
+  // live on.
+  watchdog_->set_queue_depth_fn(nullptr);
+  watchdog_->set_on_stall(nullptr);
+  progress_.end();
+}
+
+std::string CampaignMonitor::metrics_text() const {
+  return write_prometheus_text(registry_);
+}
+
+std::string CampaignMonitor::health_text() const {
+  return watchdog_->stalled() ? "stalled\n" : "ok\n";
+}
+
+std::string CampaignMonitor::progress_json() const {
+  const ProgressSnapshot p = progress_.snapshot();
+  const MetricsSummary summary = registry_.summary();
+  core::JsonWriter w;
+  w.begin_object().field("report", "progress");
+
+  w.begin_object("campaign")
+      .field("active", p.active)
+      .field("committed_sequences", p.committed_sequences)
+      .field("committed_steps", p.committed_steps)
+      .field("states_visited", p.states_visited)
+      .field("transitions_covered", p.transitions_covered)
+      .field("transitions_total", p.transitions_total)
+      .field("transition_coverage", p.transition_coverage)
+      .field("elapsed_seconds", p.elapsed_seconds)
+      .field("sequences_per_second", p.sequences_per_second);
+  if (p.eta_seconds.has_value()) {
+    w.field("eta_seconds", *p.eta_seconds);
+  } else {
+    w.null_field("eta_seconds");
+  }
+  w.end_object();
+
+  // Per-stage work items: every non-latency histogram is an item stream
+  // ("sequence", "program", "clean_run", …) whose count is the stage's
+  // throughput numerator; its sibling "<kind>.latency_ns" histogram (when
+  // the stage emits latencies) carries the p50/p99.
+  w.begin_array("stages");
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    bool any = false;
+    for (const auto& h : summary.histograms) {
+      if (h.stage == stage) {
+        any = true;
+        break;
+      }
+    }
+    for (const auto& c : summary.counters) {
+      if (c.stage == stage) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    w.element_object().field("stage", stage_name(stage));
+    w.begin_array("items");
+    for (const auto& h : summary.histograms) {
+      if (h.stage != stage || h.name == "span_ns" ||
+          ends_with(h.name, ".latency_ns")) {
+        continue;
+      }
+      w.element_object()
+          .field("kind", h.name)
+          .field("count", h.value.count);
+      if (p.elapsed_seconds > 0.0) {
+        w.field("throughput_per_second",
+                static_cast<double>(h.value.count) / p.elapsed_seconds);
+      }
+      const std::string latency_name = h.name + ".latency_ns";
+      for (const auto& lat : summary.histograms) {
+        if (lat.stage == stage && lat.name == latency_name) {
+          w.field("latency_p50_ns", lat.value.p50)
+              .field("latency_p99_ns", lat.value.p99);
+          break;
+        }
+      }
+      w.end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  // Queue wait, merged across every stage that ran a pool loop.
+  {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    for (const auto& h : summary.histograms) {
+      if (h.name != "queue_wait.latency_ns") continue;
+      count += h.value.count;
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        buckets[i] += h.value.buckets[i];
+      }
+    }
+    w.begin_object("queue_wait_ns")
+        .field("count", count)
+        .field("p50", merged_quantile(buckets, count, 0.50))
+        .field("p99", merged_quantile(buckets, count, 0.99))
+        .end_object();
+  }
+
+  // Store hit ratio (only when a store reported activity).
+  {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& c : summary.counters) {
+      if (c.name == "store.hit") hits += c.value;
+      if (c.name == "store.miss") misses += c.value;
+    }
+    if (hits + misses > 0) {
+      w.begin_object("store")
+          .field("hits", hits)
+          .field("misses", misses)
+          .field("hit_ratio", static_cast<double>(hits) /
+                                  static_cast<double>(hits + misses))
+          .end_object();
+    }
+  }
+
+  // BDD engine levels (emitted by the symbolic stage as gauges).
+  {
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    bool have = false;
+    for (const auto& g : summary.gauges) {
+      if (g.name == "bdd_live_nodes") {
+        live = g.value;
+        have = true;
+      } else if (g.name == "bdd_peak_nodes") {
+        peak = g.value;
+        have = true;
+      }
+    }
+    if (have) {
+      w.begin_object("bdd")
+          .field("live_nodes", live)
+          .field("peak_nodes", peak)
+          .end_object();
+    }
+  }
+
+  // Watchdog: alarm state, stall history, and the sampled time series.
+  {
+    const auto stalls = watchdog_->stalls();
+    const auto series = watchdog_->series();
+    w.begin_object("watchdog")
+        .field("interval_seconds", watchdog_->options().interval_seconds)
+        .field("stall_intervals",
+               std::uint64_t{watchdog_->options().stall_intervals})
+        .field("ticks", watchdog_->ticks())
+        .field("stalled", watchdog_->stalled());
+    w.begin_array("stalls");
+    for (const auto& e : stalls) {
+      w.element_object()
+          .field("at_seconds", e.at_seconds)
+          .field("stage", stage_name(e.stage))
+          .field("committed", e.committed)
+          .field("queue_depth", e.queue_depth)
+          .field("idle_intervals", e.idle_intervals)
+          .end_object();
+    }
+    w.end_array();
+    w.begin_array("series");
+    for (const auto& sample : series) {
+      w.element_object()
+          .field("at_seconds", sample.at_seconds)
+          .field("committed", sample.committed)
+          .field("queue_depth", sample.queue_depth)
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+std::optional<HttpResponse> CampaignMonitor::route(
+    const std::string& path) const {
+  if (path == "/metrics") {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        metrics_text()};
+  }
+  if (path == "/progress") {
+    return HttpResponse{200, "application/json", progress_json()};
+  }
+  if (path == "/healthz") {
+    return HttpResponse{200, "text/plain; charset=utf-8", health_text()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace simcov::obs

@@ -1,0 +1,169 @@
+// CampaignMonitor: the live observability plane of a running campaign.
+//
+// PR 5 made campaigns post-hoc observable (MetricsRegistry snapshots,
+// Prometheus/Perfetto files written after the run). The monitor makes the
+// same event flow observable *while the campaign runs*:
+//
+//   * CampaignMonitor owns a private MetricsRegistry that the pipeline
+//     adds to its sink fan-out (next to CampaignOptions::sink/metrics), a
+//     ProgressEstimator fed per committed sequence, and an optional
+//     Watchdog sampling the registry on a background thread.
+//   * MonitorServer is a dependency-free embedded HTTP/1.1 server (POSIX
+//     sockets, loopback only) serving
+//       GET /metrics   — Prometheus text exposition of the live registry
+//       GET /progress  — JSON: committed sequences, transition-coverage
+//                        fraction and ETA, per-stage throughput and
+//                        p50/p99 latencies, queue wait, store hit ratio,
+//                        BDD live/peak nodes, watchdog time series
+//       GET /healthz   — "ok" (liveness), or "stalled" while the watchdog
+//                        alarm is raised (HTTP 200 either way; the body is
+//                        the signal)
+//
+// The monitor is a read-only observer by construction: it only *receives*
+// the event stream a campaign already emits, its registry never lands on
+// CampaignResult, and the pipeline's control flow never consults it — so a
+// campaign report is byte-identical with the monitor on or off (gated by
+// bench_obs_overhead).
+//
+// The monitor outlives any single campaign: construct one, point any
+// number of sequential pipeline runs at it via CampaignOptions::monitor,
+// and scrape between or during runs. begin_campaign/end_campaign are
+// called by the pipeline, not by users.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/watchdog.hpp"
+
+namespace simcov::obs {
+
+/// One HTTP response a MonitorServer handler produced.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal embedded HTTP/1.1 server: loopback-only, GET-only, one request
+/// per connection (Connection: close), served sequentially on one
+/// background thread — plenty for a scrape endpoint, and no thundering
+/// herd can reach it. The handler runs on the server thread and must be
+/// thread-safe against the rest of the process; returning nullopt yields
+/// 404.
+class MonitorServer {
+ public:
+  using Handler =
+      std::function<std::optional<HttpResponse>(const std::string& path)>;
+
+  /// Binds 127.0.0.1:port (port 0: an ephemeral port, see port()) and
+  /// starts the accept loop. Throws std::runtime_error when the socket
+  /// cannot be bound.
+  MonitorServer(std::uint16_t port, Handler handler);
+  ~MonitorServer();
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// The bound TCP port (the resolved one when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Result of one http_get round trip.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Blocking loopback GET against a MonitorServer — the self-scrape helper
+/// tests and benches use instead of shelling out to curl. nullopt when the
+/// connection or the response parse fails.
+[[nodiscard]] std::optional<HttpResult> http_get(std::uint16_t port,
+                                                 const std::string& path);
+
+struct MonitorOptions {
+  /// TCP port of the embedded HTTP server; 0 picks an ephemeral port
+  /// (read it back via port()). Negative: no HTTP server — the monitor
+  /// still aggregates, and progress_json()/metrics_text() serve in-process.
+  int port = 0;
+  /// Watchdog sampling interval; 0 disables the watchdog thread entirely.
+  double watchdog_seconds = 0.0;
+  /// Commit-free watchdog intervals before a stall is declared.
+  std::size_t stall_intervals = 5;
+  /// Ring-buffer capacity of the watchdog time series.
+  std::size_t series_capacity = 256;
+  /// Cancel the campaign (via the token the pipeline registers) when a
+  /// stall is detected, turning a wedged campaign into a clean truncated
+  /// one.
+  bool cancel_on_stall = false;
+};
+
+class CampaignMonitor {
+ public:
+  /// Starts the HTTP server immediately (unless options.port < 0). Throws
+  /// std::runtime_error when the port cannot be bound.
+  explicit CampaignMonitor(MonitorOptions options = {});
+  ~CampaignMonitor();
+  CampaignMonitor(const CampaignMonitor&) = delete;
+  CampaignMonitor& operator=(const CampaignMonitor&) = delete;
+
+  /// The sink the pipeline adds to its fan-out — feeds the live registry.
+  [[nodiscard]] EventSink& sink() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  [[nodiscard]] ProgressEstimator& progress() { return progress_; }
+  /// The watchdog (present even when the sampling thread is disabled, so
+  /// tests can drive tick() manually).
+  [[nodiscard]] Watchdog& watchdog() { return *watchdog_; }
+
+  /// Bound HTTP port; 0 when the server is disabled.
+  [[nodiscard]] std::uint16_t port() const;
+
+  // ---- Pipeline lifecycle hooks (called by ValidationPipeline) ----------
+  /// Campaign start: arms the progress estimator with the transition
+  /// total, wires stall evidence (worker-pool queue depth) and the stall
+  /// cancellation hook, and starts the watchdog thread when configured.
+  void begin_campaign(std::uint64_t transitions_total,
+                      std::function<std::uint64_t()> queue_depth,
+                      std::function<void()> cancel);
+  /// One committed sequence (or batch): totals after the commit.
+  void on_commit(std::uint64_t committed_sequences,
+                 std::uint64_t committed_steps,
+                 std::uint64_t states_visited,
+                 std::uint64_t transitions_covered);
+  /// Campaign end: stops the watchdog thread and parks the estimator.
+  /// Idempotent; also run by the destructor path via the pipeline's guard.
+  void end_campaign();
+
+  // ---- In-process views (what the HTTP endpoints serve) -----------------
+  [[nodiscard]] std::string progress_json() const;
+  [[nodiscard]] std::string metrics_text() const;
+  [[nodiscard]] std::string health_text() const;
+
+ private:
+  [[nodiscard]] std::optional<HttpResponse> route(const std::string& path)
+      const;
+
+  MonitorOptions options_;
+  MetricsRegistry registry_;
+  ProgressEstimator progress_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<MonitorServer> server_;
+};
+
+}  // namespace simcov::obs

@@ -1,0 +1,120 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace simcov::obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressEstimator::ProgressEstimator(Clock clock, std::size_t window)
+    : clock_(clock ? std::move(clock) : Clock(&steady_seconds)),
+      window_(std::max<std::size_t>(window, 4)) {}
+
+void ProgressEstimator::begin(std::uint64_t transitions_total) {
+  std::lock_guard lock(mutex_);
+  active_ = true;
+  started_at_ = clock_();
+  committed_sequences_ = 0;
+  committed_steps_ = 0;
+  states_visited_ = 0;
+  transitions_covered_ = 0;
+  transitions_total_ = transitions_total;
+  recent_.clear();
+}
+
+void ProgressEstimator::end() {
+  std::lock_guard lock(mutex_);
+  active_ = false;
+}
+
+void ProgressEstimator::on_commit(std::uint64_t committed_sequences,
+                                  std::uint64_t committed_steps,
+                                  std::uint64_t states_visited,
+                                  std::uint64_t transitions_covered) {
+  std::lock_guard lock(mutex_);
+  committed_sequences_ = committed_sequences;
+  committed_steps_ = committed_steps;
+  states_visited_ = states_visited;
+  transitions_covered_ = transitions_covered;
+  recent_.push_back(Record{clock_(), transitions_covered});
+  while (recent_.size() > window_) recent_.pop_front();
+}
+
+std::optional<double> ProgressEstimator::estimate_eta_locked() const {
+  if (transitions_total_ == 0 ||
+      transitions_covered_ >= transitions_total_) {
+    return 0.0;
+  }
+  if (recent_.size() < 2) return std::nullopt;
+  const double remaining =
+      static_cast<double>(transitions_total_ - transitions_covered_);
+
+  // Split the recent window into two halves by record count and compare
+  // their coverage-discovery rates.
+  const std::size_t half = recent_.size() / 2;
+  const Record& a = recent_.front();
+  const Record& m = recent_[half];
+  const Record& b = recent_.back();
+  const double dt1 = m.at - a.at;
+  const double dt2 = b.at - m.at;
+  const double gain1 = static_cast<double>(m.transitions - a.transitions);
+  const double gain2 = static_cast<double>(b.transitions - m.transitions);
+  if (!(dt2 > 0.0)) return std::nullopt;
+  const double rate2 = gain2 / dt2;
+
+  if (dt1 > 0.0 && gain1 > 0.0 && gain2 > 0.0) {
+    const double rate1 = gain1 / dt1;
+    if (rate2 < rate1) {
+      // Decaying discovery: each successive half-window of duration dt2
+      // gains r times the previous one's transitions, r = rate2/rate1.
+      // The whole geometric tail tops out at gain2 * r / (1 - r); when the
+      // remaining transitions exceed that, this curve never gets there.
+      const double r = rate2 / rate1;
+      const double tail = gain2 * r / (1.0 - r);
+      if (remaining >= tail) return std::nullopt;
+      // Smallest n with gain2 * (r + ... + r^n) >= remaining.
+      const double n =
+          std::log(1.0 - remaining * (1.0 - r) / (gain2 * r)) / std::log(r);
+      return std::max(0.0, n * dt2);
+    }
+  }
+  // Flat or accelerating discovery: linear extrapolation of the recent
+  // rate is the best unbiased guess.
+  if (!(rate2 > 0.0)) return std::nullopt;
+  return remaining / rate2;
+}
+
+ProgressSnapshot ProgressEstimator::snapshot() const {
+  std::lock_guard lock(mutex_);
+  ProgressSnapshot s;
+  s.active = active_;
+  s.committed_sequences = committed_sequences_;
+  s.committed_steps = committed_steps_;
+  s.states_visited = states_visited_;
+  s.transitions_covered = transitions_covered_;
+  s.transitions_total = transitions_total_;
+  if (transitions_total_ > 0) {
+    s.transition_coverage = static_cast<double>(transitions_covered_) /
+                            static_cast<double>(transitions_total_);
+  }
+  const double now = clock_();
+  s.elapsed_seconds = active_ ? std::max(0.0, now - started_at_) : 0.0;
+  if (s.elapsed_seconds > 0.0) {
+    s.sequences_per_second =
+        static_cast<double>(committed_sequences_) / s.elapsed_seconds;
+  }
+  s.eta_seconds = estimate_eta_locked();
+  return s;
+}
+
+}  // namespace simcov::obs

@@ -1,0 +1,100 @@
+// ProgressEstimator: the live convergence view of a running campaign.
+//
+// The pipeline commits sequences on the coordinator thread and, when a
+// CampaignMonitor is attached, reports each commit here together with the
+// coverage account of the CoverageTelemetryCollector (states visited,
+// transitions covered after that commit) — the same deterministic
+// replay-based numbers the "coverage_telemetry" report section is built
+// from, observed mid-run instead of post-hoc.
+//
+// From that stream the estimator derives the /progress payload:
+//   * committed sequences / steps and the transition-coverage fraction,
+//   * a sequence throughput (committed / elapsed),
+//   * an ETA to full transition coverage, extrapolated from the live
+//     convergence curve. Coverage discovery decays as a tour saturates
+//     (most of the paper's convergence curves are concave), so the
+//     estimator compares the discovery rate of the two halves of a recent
+//     window and, when the rate is decaying, sums the implied geometric
+//     tail instead of extrapolating linearly — a linear fit on a concave
+//     curve systematically under-reports the remaining work.
+//
+// The clock is injectable (seconds as double) so unit tests drive the
+// estimator deterministically; the default reads the steady clock.
+// Thread-safe: on_commit arrives from the coordinator while snapshot() is
+// called from the HTTP-server and watchdog threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace simcov::obs {
+
+/// Point-in-time view of campaign progress — the /progress "campaign"
+/// object.
+struct ProgressSnapshot {
+  bool active = false;  ///< between begin() and end()
+  std::uint64_t committed_sequences = 0;
+  std::uint64_t committed_steps = 0;
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions_covered = 0;
+  std::uint64_t transitions_total = 0;
+  double transition_coverage = 0.0;  ///< covered / total (0 when total is 0)
+  double elapsed_seconds = 0.0;
+  double sequences_per_second = 0.0;
+  /// Seconds until full transition coverage at the extrapolated discovery
+  /// rate; nullopt when unknown (no commits yet, discovery stopped, or the
+  /// geometric tail cannot reach the remaining transitions).
+  std::optional<double> eta_seconds;
+};
+
+class ProgressEstimator {
+ public:
+  using Clock = std::function<double()>;
+
+  /// `clock` returns seconds on a monotonic axis; nullptr uses the steady
+  /// clock. `window` caps the commit records kept for rate estimation.
+  explicit ProgressEstimator(Clock clock = nullptr,
+                             std::size_t window = 256);
+
+  /// Marks campaign start: zeroes the account and records the start time.
+  void begin(std::uint64_t transitions_total);
+  /// Marks campaign end; snapshots keep the final numbers but report
+  /// active=false.
+  void end();
+
+  /// One (or one batch of) committed sequence(s): the totals *after* the
+  /// commit, straight from the pipeline's counters and the telemetry
+  /// collector's tracker. Coordinator thread only.
+  void on_commit(std::uint64_t committed_sequences,
+                 std::uint64_t committed_steps,
+                 std::uint64_t states_visited,
+                 std::uint64_t transitions_covered);
+
+  [[nodiscard]] ProgressSnapshot snapshot() const;
+
+ private:
+  struct Record {
+    double at = 0.0;  ///< clock seconds of the commit
+    std::uint64_t transitions = 0;
+  };
+
+  /// ETA from the recent-window records; caller holds the lock.
+  [[nodiscard]] std::optional<double> estimate_eta_locked() const;
+
+  Clock clock_;
+  std::size_t window_;
+  mutable std::mutex mutex_;
+  bool active_ = false;
+  double started_at_ = 0.0;
+  std::uint64_t committed_sequences_ = 0;
+  std::uint64_t committed_steps_ = 0;
+  std::uint64_t states_visited_ = 0;
+  std::uint64_t transitions_covered_ = 0;
+  std::uint64_t transitions_total_ = 0;
+  std::deque<Record> recent_;
+};
+
+}  // namespace simcov::obs

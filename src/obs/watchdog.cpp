@@ -1,0 +1,153 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace simcov::obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(const MetricsRegistry& registry, WatchdogOptions options)
+    : registry_(registry), options_(options) {
+  options_.interval_seconds = std::max(options_.interval_seconds, 1e-3);
+  options_.stall_intervals = std::max<std::size_t>(options_.stall_intervals, 1);
+  options_.series_capacity = std::max<std::size_t>(options_.series_capacity, 1);
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::set_stall_sink(EventSink* sink) { stall_sink_ = sink; }
+
+void Watchdog::set_queue_depth_fn(std::function<std::uint64_t()> fn) {
+  queue_depth_ = std::move(fn);
+}
+
+void Watchdog::set_on_stall(std::function<void()> fn) {
+  on_stall_ = std::move(fn);
+}
+
+void Watchdog::tick(double now_seconds) {
+  // Sample outside the lock: summary() walks the registry's shards and the
+  // queue-depth callback takes the pool mutex.
+  const MetricsSummary summary = registry_.summary();
+  WatchdogSample sample;
+  sample.at_seconds = now_seconds;
+  for (const auto& e : summary.counters) {
+    sample.stage_activity[static_cast<std::size_t>(e.stage)] += e.value;
+  }
+  for (const auto& e : summary.histograms) {
+    sample.stage_activity[static_cast<std::size_t>(e.stage)] +=
+        e.value.count;
+    if (e.stage == Stage::kSimulate && e.name == "clean_run") {
+      sample.committed = e.value.count;
+    }
+  }
+  sample.queue_depth = queue_depth_ ? queue_depth_() : 0;
+
+  bool fire = false;
+  Stage fire_stage = Stage::kTour;
+  {
+    std::lock_guard lock(mutex_);
+    ++ticks_;
+    // Attribution: the stage whose event activity advanced most recently.
+    // Ascending scan, so when several stages advanced in the same tick the
+    // one furthest along the pipeline wins — that is where work last moved.
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      if (sample.stage_activity[s] > last_activity_[s]) {
+        last_active_stage_ = static_cast<Stage>(s);
+      }
+    }
+    last_activity_ = sample.stage_activity;
+
+    if (sample.committed > last_committed_) {
+      last_committed_ = sample.committed;
+      idle_intervals_ = 0;
+      stalled_ = false;  // commits resumed: re-arm the alarm
+    } else {
+      ++idle_intervals_;
+      if (!stalled_ && idle_intervals_ >= options_.stall_intervals) {
+        stalled_ = true;
+        fire = true;
+        fire_stage = last_active_stage_;
+        stalls_.push_back(StallEvent{now_seconds, last_active_stage_,
+                                     sample.committed, sample.queue_depth,
+                                     idle_intervals_});
+      }
+    }
+
+    series_.push_back(sample);
+    while (series_.size() > options_.series_capacity) series_.pop_front();
+  }
+  // Emit and cancel outside the lock — the sink may be the campaign's
+  // MultiSink fan-out and must not observe the watchdog's mutex held.
+  if (fire) {
+    if (stall_sink_ != nullptr) {
+      stall_sink_->counter(fire_stage, "campaign.stall", 1);
+    }
+    if (on_stall_) on_stall_();
+  }
+}
+
+void Watchdog::start() {
+  std::lock_guard lock(thread_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lock(thread_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(thread_mutex_);
+  running_ = false;
+}
+
+void Watchdog::run_loop() {
+  const auto period = std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock lock(thread_mutex_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, period, [&] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    tick(steady_seconds());
+    lock.lock();
+  }
+}
+
+std::uint64_t Watchdog::ticks() const {
+  std::lock_guard lock(mutex_);
+  return ticks_;
+}
+
+bool Watchdog::stalled() const {
+  std::lock_guard lock(mutex_);
+  return stalled_;
+}
+
+std::vector<StallEvent> Watchdog::stalls() const {
+  std::lock_guard lock(mutex_);
+  return stalls_;
+}
+
+std::vector<WatchdogSample> Watchdog::series() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<WatchdogSample>(series_.begin(), series_.end());
+}
+
+}  // namespace simcov::obs

@@ -1,0 +1,130 @@
+// Watchdog: the liveness sentinel of a running campaign.
+//
+// A campaign that wedges — a stuck pool worker, an unbounded symbolic
+// tour, a pathological sequence — stops committing sequences but keeps the
+// process alive. The watchdog samples the live MetricsRegistry at a fixed
+// interval into a bounded ring-buffer time series and watches the one
+// signal every healthy campaign advances: the committed-sequence count
+// (the (simulate, "clean_run") histogram). When that count holds still for
+// N consecutive intervals the watchdog declares a stall, exactly once per
+// stall episode (the alarm latches, and re-arms when commits resume):
+//
+//   * a `campaign.stall` counter event is emitted into the configured sink,
+//     tagged with the attributed stage — the stage whose per-stage event
+//     activity advanced most recently, i.e. where the pipeline was last
+//     alive (ties prefer the later pipeline stage);
+//   * a StallEvent is recorded with the evidence: attributed stage, idle
+//     interval count, committed count, and the worker-pool queue depth at
+//     detection (a deep queue points at slow workers, an empty one at a
+//     starved stream);
+//   * optionally a cancellation callback fires (CampaignMonitor wires the
+//     campaign's CancellationToken here), turning the stall into a clean
+//     truncated campaign instead of a hung process.
+//
+// tick(now_seconds) is the whole detector and is callable directly, so
+// tests drive stall scenarios deterministically with a synthetic clock;
+// start()/stop() run the same tick on a background thread against the
+// steady clock for real campaigns.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace simcov::obs {
+
+struct WatchdogOptions {
+  double interval_seconds = 1.0;
+  /// Consecutive commit-free intervals before a stall is declared.
+  std::size_t stall_intervals = 5;
+  /// Ring-buffer capacity of the sampled time series.
+  std::size_t series_capacity = 256;
+};
+
+/// One registry sample — an entry of the ring-buffer time series.
+struct WatchdogSample {
+  double at_seconds = 0.0;
+  std::uint64_t committed = 0;    ///< clean_run count at the tick
+  std::uint64_t queue_depth = 0;  ///< worker-pool backlog at the tick
+  /// Per-stage event activity (summed counters + histogram observations).
+  std::array<std::uint64_t, kStageCount> stage_activity{};
+};
+
+/// One detected stall episode, with the attribution evidence.
+struct StallEvent {
+  double at_seconds = 0.0;
+  Stage stage = Stage::kTour;  ///< last stage observed making progress
+  std::uint64_t committed = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t idle_intervals = 0;
+};
+
+class Watchdog {
+ public:
+  Watchdog(const MetricsRegistry& registry, WatchdogOptions options);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Sink the `campaign.stall` counter event is emitted into (nullptr: the
+  /// event is only recorded in stalls()). Set before start().
+  void set_stall_sink(EventSink* sink);
+  /// Reports the worker-pool backlog for stall evidence (nullptr: 0).
+  void set_queue_depth_fn(std::function<std::uint64_t()> fn);
+  /// Invoked once per detected stall, after the event is recorded —
+  /// CampaignMonitor passes the campaign CancellationToken's cancel here.
+  void set_on_stall(std::function<void()> fn);
+
+  /// One detector step at `now_seconds`: samples the registry, appends to
+  /// the time series, and fires at most one stall per episode. Thread-safe
+  /// and deterministic in the (registry state, call sequence) alone.
+  void tick(double now_seconds);
+
+  /// Starts the background sampler (steady clock, options.interval_seconds
+  /// period). No-op when already running.
+  void start();
+  /// Stops and joins the background sampler. Safe to call when stopped.
+  void stop();
+
+  [[nodiscard]] const WatchdogOptions& options() const { return options_; }
+  [[nodiscard]] std::uint64_t ticks() const;
+  /// True while the current stall episode is unresolved.
+  [[nodiscard]] bool stalled() const;
+  [[nodiscard]] std::vector<StallEvent> stalls() const;
+  /// The ring-buffer time series, oldest first.
+  [[nodiscard]] std::vector<WatchdogSample> series() const;
+
+ private:
+  void run_loop();
+
+  const MetricsRegistry& registry_;
+  WatchdogOptions options_;
+  EventSink* stall_sink_ = nullptr;
+  std::function<std::uint64_t()> queue_depth_;
+  std::function<void()> on_stall_;
+
+  mutable std::mutex mutex_;
+  std::deque<WatchdogSample> series_;
+  std::vector<StallEvent> stalls_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t last_committed_ = 0;
+  std::uint64_t idle_intervals_ = 0;
+  bool stalled_ = false;
+  Stage last_active_stage_ = Stage::kTour;
+  std::array<std::uint64_t, kStageCount> last_activity_{};
+
+  std::mutex thread_mutex_;
+  std::condition_variable stop_cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace simcov::obs

@@ -220,6 +220,12 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
     sink.counter(obs::Stage::kSymbolic, "bdd.gc", result.bdd_stats->gc_runs);
     sink.counter(obs::Stage::kSymbolic, "bdd.reorder",
                  result.bdd_stats->reorders);
+    // Node-table pressure as level snapshots (gauge = max semantics), so
+    // the live monitor can surface BDD memory without summing samples.
+    sink.gauge(obs::Stage::kSymbolic, "bdd_live_nodes",
+               result.bdd_stats->live_nodes);
+    sink.gauge(obs::Stage::kSymbolic, "bdd_peak_nodes",
+               result.bdd_stats->peak_live_nodes);
   } else if (options.collect_symbolic_stats) {
     // The only expensive path: a dedicated manager pays a full fixpoint.
     if (store != nullptr) {
@@ -229,6 +235,10 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
           const auto snap = store::snapshot_from_payload(*payload);
           result.symbolic_stats = snap.fsm;
           result.bdd_stats = snap.bdd;
+          sink.gauge(obs::Stage::kSymbolic, "bdd_live_nodes",
+                     result.bdd_stats->live_nodes);
+          sink.gauge(obs::Stage::kSymbolic, "bdd_peak_nodes",
+                     result.bdd_stats->peak_live_nodes);
           return;
         } catch (const store::CodecError&) {
           // Undecodable payload: fall through and recompute.
@@ -239,6 +249,10 @@ void SymbolicSnapshotStage::run(const CampaignOptions& options,
     sym::SymbolicFsm symbolic(mgr, built.circuit);
     result.symbolic_stats = symbolic.stats();
     result.bdd_stats = mgr.stats();
+    sink.gauge(obs::Stage::kSymbolic, "bdd_live_nodes",
+               result.bdd_stats->live_nodes);
+    sink.gauge(obs::Stage::kSymbolic, "bdd_peak_nodes",
+               result.bdd_stats->peak_live_nodes);
     if (store != nullptr) {
       store::SymbolicSnapshot snap{*result.symbolic_stats,
                                    *result.bdd_stats};

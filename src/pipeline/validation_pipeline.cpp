@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "io/vcd.hpp"
+#include "obs/monitor_server.hpp"
 #include "pipeline/stages.hpp"
 #include "pipeline/store_keys.hpp"
 #include "runtime/thread_pool.hpp"
@@ -46,6 +47,16 @@ std::vector<std::uint8_t> checkpoint_payload(
   return store::to_payload(ckpt);
 }
 
+/// Guarantees CampaignMonitor::end_campaign on every exit path (the
+/// watchdog thread and the queue-depth hook must not outlive the pool and
+/// token they observe).
+struct MonitorGuard {
+  obs::CampaignMonitor* monitor;
+  ~MonitorGuard() {
+    if (monitor != nullptr) monitor->end_campaign();
+  }
+};
+
 }  // namespace
 
 CampaignResult ValidationPipeline::run(
@@ -55,6 +66,9 @@ CampaignResult ValidationPipeline::run(
   sink.add(&recorder);
   sink.add(options_.sink);
   sink.add(options_.metrics);
+  // The live monitor's private registry rides the same fan-out; it never
+  // lands on the result, so the report is identical with it on or off.
+  if (options_.monitor != nullptr) sink.add(&options_.monitor->sink());
   const CancellationToken& cancel = options_.cancel;
 
   CampaignResult result;
@@ -72,8 +86,11 @@ CampaignResult ValidationPipeline::run(
   // Coverage telemetry replays committed sequences through the model on the
   // coordinator thread — the one account that is identical for live,
   // store-replayed (no live tracker), and resumed campaigns.
+  // An attached monitor needs the same account for its live progress feed,
+  // so it forces the collector on; the report section itself stays gated
+  // on collect_coverage_telemetry below.
   std::optional<obs::CoverageTelemetryCollector> telemetry;
-  if (options_.collect_coverage_telemetry) {
+  if (options_.collect_coverage_telemetry || options_.monitor != nullptr) {
     telemetry.emplace(*build.model, options_.telemetry_curve_budget);
   }
 
@@ -122,6 +139,19 @@ CampaignResult ValidationPipeline::run(
   const std::size_t window = options_.max_in_flight_sequences != 0
                                  ? options_.max_in_flight_sequences
                                  : 2 * pool.size();
+
+  // Arm the live monitor: progress totals, stall evidence (the pool's
+  // backlog), and the cancellation hook a cancel_on_stall watchdog trips.
+  // The guard is declared after `pool`, so its end_campaign — which
+  // detaches these hooks and stops the watchdog thread — runs first on
+  // every exit path.
+  MonitorGuard monitor_guard{options_.monitor};
+  if (options_.monitor != nullptr) {
+    options_.monitor->begin_campaign(
+        result.model_transitions,
+        [&pool] { return static_cast<std::uint64_t>(pool.pending()); },
+        [cancel] { cancel.cancel(); });
+  }
 
   std::vector<validate::ConcretizedProgram> programs;
   // Committed sequences retained for the VCD export (they otherwise die at
@@ -257,6 +287,11 @@ CampaignResult ValidationPipeline::run(
       result.clean_runs.push_back(batch_runs[i]);
       if (telemetry.has_value() && !options_.packed) {
         telemetry->commit_sequence(batch[i]);
+        if (options_.monitor != nullptr) {
+          options_.monitor->on_commit(result.sequences, result.test_length,
+                                      telemetry->states_visited(),
+                                      telemetry->transitions_covered());
+        }
       }
       if (!options_.vcd_path.empty()) vcd_sequences.push_back(batch[i]);
       if (!build.external_circuit) {
@@ -270,6 +305,11 @@ CampaignResult ValidationPipeline::run(
     // per-sequence commit above.
     if (telemetry.has_value() && options_.packed) {
       telemetry->commit_batch(batch);
+      if (options_.monitor != nullptr) {
+        options_.monitor->on_commit(result.sequences, result.test_length,
+                                    telemetry->states_visited(),
+                                    telemetry->transitions_covered());
+      }
     }
 
     // Periodic checkpoint of the committed prefix. Restored batches only
@@ -393,6 +433,51 @@ CampaignResult ValidationPipeline::run(
   }
 
   result.timings = timings_from_spans(recorder);
+
+  // Store-backed performance baseline: compare this run's phase timings
+  // against the summary archived under the same campaign fingerprint,
+  // publishing one on first sight. Store activity lands in the stats
+  // snapshot below.
+  if (store != nullptr && options_.baseline_check) {
+    store::PerfBaseline current;
+    current.sequences = result.sequences;
+    current.test_steps = result.test_length;
+    current.total_impl_cycles = result.total_impl_cycles();
+    current.total_seconds = result.timings.total_seconds;
+    current.tour_seconds = result.timings.tour_seconds;
+    current.concretize_seconds = result.timings.concretize_seconds;
+    current.simulate_seconds = result.timings.simulate_seconds;
+    BaselineComparison cmp;
+    cmp.tolerance = options_.baseline_tolerance;
+    cmp.current = current;
+    if (auto payload = store->load(store::ArtifactKind::kBaseline,
+                                   keys.report, obs::Stage::kSimulate,
+                                   sink)) {
+      try {
+        cmp.baseline = store::baseline_from_payload(*payload);
+        cmp.found = true;
+      } catch (const store::CodecError&) {
+        cmp.found = false;  // undecodable baseline: re-publish below
+      }
+    }
+    if (cmp.found) {
+      if (cmp.baseline.total_seconds > 0.0) {
+        cmp.wall_ratio = current.total_seconds / cmp.baseline.total_seconds;
+      }
+      // A 50ms absolute floor keeps sub-second smoke campaigns from
+      // flagging scheduler noise as a regression.
+      cmp.regression =
+          current.total_seconds >
+          0.05 + cmp.baseline.total_seconds * (1.0 + cmp.tolerance);
+    } else {
+      store->publish(store::ArtifactKind::kBaseline, keys.report,
+                     store::to_payload(current), obs::Stage::kSimulate,
+                     sink);
+      cmp.baseline = current;
+    }
+    result.baseline = cmp;
+  }
+
   if (store != nullptr) result.store_stats = store->stats();
   const bool symbolic_ran =
       options_.collect_symbolic_stats ||
@@ -409,7 +494,7 @@ CampaignResult ValidationPipeline::run(
   report(obs::Stage::kSimulate, result.clean_runs.size());
   report(obs::Stage::kCompare, bugs_compared);
 
-  if (telemetry.has_value()) {
+  if (telemetry.has_value() && options_.collect_coverage_telemetry) {
     auto t = telemetry->snapshot();
     // Exposure latency comes from the compare stage's per-bug first-exposing
     // indices (committed order), one entry per compared bug.

@@ -46,10 +46,11 @@ enum class ArtifactKind : std::uint32_t {
   kSymbolicSnapshot = 2,  ///< SymbolicFsmStats + BddStats pair
   kReport = 3,            ///< campaign report JSON bytes
   kCheckpoint = 4,        ///< committed campaign prefix (eviction-exempt)
+  kBaseline = 5,          ///< compact performance baseline of a campaign
 };
 
 /// The filename prefix of a kind ("tour", "symstats", "report",
-/// "checkpoint").
+/// "checkpoint", "baseline").
 [[nodiscard]] const char* kind_name(ArtifactKind kind);
 
 /// Current payload schema version of a kind. Stored in the artifact header;

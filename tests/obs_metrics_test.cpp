@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -162,6 +163,64 @@ TEST(MetricsRegistry, ConcurrentObservationsAreAllCounted) {
   EXPECT_EQ(s.histograms[0].value.max, kPerThread - 1);
 }
 
+TEST(MetricsRegistry, SnapshotWhileFoldingIsSafeAndMonotonic) {
+  // The live monitor scrapes summary() from its watchdog/HTTP threads
+  // while the campaign folds events concurrently. Any intermediate
+  // snapshot must be internally sane (no torn reads: count covers every
+  // bucketed observation) and the per-name counts must only grow; the
+  // final snapshot after joining must be exact. Run under TSan in CI.
+  obs::MetricsRegistry reg;
+  static constexpr std::size_t kWriters = 4;
+  static constexpr std::size_t kPerThread = 5000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        reg.add_counter(obs::Stage::kSimulate, "commits", 1);
+        reg.observe(obs::Stage::kSimulate, "cycles", t * kPerThread + i);
+        reg.max_gauge(obs::Stage::kTour, "peak", i);
+      }
+    });
+  }
+  std::thread scraper([&reg, &done] {
+    std::uint64_t last_counter = 0;
+    std::uint64_t last_histo = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto s = reg.summary();
+      for (const auto& c : s.counters) {
+        EXPECT_GE(c.value, last_counter) << "counters must be monotonic";
+        last_counter = c.value;
+      }
+      for (const auto& h : s.histograms) {
+        EXPECT_GE(h.value.count, last_histo);
+        last_histo = h.value.count;
+        // Bucket and count are separate relaxed atomics, so a snapshot may
+        // catch a writer between the two increments — but never by more
+        // than one gap per in-flight writer.
+        std::uint64_t bucketed = 0;
+        for (const auto b : h.value.buckets) bucketed += b;
+        const std::uint64_t lo = std::min(bucketed, h.value.count);
+        const std::uint64_t hi = std::max(bucketed, h.value.count);
+        EXPECT_LE(hi - lo, kWriters)
+            << "snapshot tear wider than the in-flight writer count";
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  const auto s = reg.summary();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].value, kWriters * kPerThread);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].value.count, kWriters * kPerThread);
+  EXPECT_EQ(s.histograms[0].value.max, kWriters * kPerThread - 1);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].value, kPerThread - 1);
+}
+
 // ---------------------------------------------------------------------------
 // CounterRecorder gauge semantics + JSONL flush
 // ---------------------------------------------------------------------------
@@ -194,6 +253,72 @@ TEST(JsonlTraceSink, ExplicitFlushAndStatusBoundaryMakeEventsVisible) {
         << "status events must flush without an explicit flush() call";
   }
   std::filesystem::remove(path);
+}
+
+TEST(JsonlTraceSink, RotatesAtTheSizeCapAndKeepsEveryLine) {
+  const auto path = temp_file("jsonl_rotate.jsonl");
+  const auto rotated1 = std::filesystem::path(path.string() + ".1");
+  const auto rotated2 = std::filesystem::path(path.string() + ".2");
+  for (const auto& p : {path, rotated1, rotated2}) {
+    std::filesystem::remove(p);
+  }
+  constexpr std::uint64_t kMaxBytes = 512;
+  constexpr std::size_t kEvents = 64;
+  {
+    obs::JsonlTraceSink sink(path.string(), kMaxBytes, 2);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      sink.gauge(obs::Stage::kTour, "peak", i);
+    }
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(rotated1));
+  ASSERT_TRUE(std::filesystem::exists(rotated2));
+  // No rotated file exceeds the cap (the active one may be mid-fill).
+  EXPECT_LE(std::filesystem::file_size(rotated1), kMaxBytes);
+  EXPECT_LE(std::filesystem::file_size(rotated2), kMaxBytes);
+  // Retention window: the newest files survive, oldest lines age out of
+  // the two-file window. Lines never straddle a rotation boundary.
+  std::size_t kept = 0;
+  std::size_t last_value = 0;
+  for (const auto& p : {rotated2, rotated1, path}) {
+    std::ifstream in(p);
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_NE(line.find("\"event\":\"gauge\""), std::string::npos)
+          << "truncated line in " << p;
+      const auto at = line.find("\"value\":");
+      ASSERT_NE(at, std::string::npos);
+      last_value = static_cast<std::size_t>(
+          std::stoull(line.substr(at + std::string("\"value\":").size())));
+      ++kept;
+    }
+  }
+  EXPECT_LT(kept, kEvents) << "old lines must age out of the window";
+  EXPECT_EQ(last_value, kEvents - 1) << "the newest line must survive";
+  for (const auto& p : {path, rotated1, rotated2}) {
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(JsonlTraceSink, NoCapMeansNoRotation) {
+  const auto path = temp_file("jsonl_norotate.jsonl");
+  const auto rotated1 = std::filesystem::path(path.string() + ".1");
+  std::filesystem::remove(path);
+  std::filesystem::remove(rotated1);
+  {
+    obs::JsonlTraceSink sink(path.string());  // max_bytes = 0: unlimited
+    for (std::size_t i = 0; i < 256; ++i) {
+      sink.gauge(obs::Stage::kTour, "peak", i);
+    }
+  }
+  EXPECT_FALSE(std::filesystem::exists(rotated1));
+  std::size_t lines = 0;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 256u);
+  std::filesystem::remove(path);
+  std::filesystem::remove(rotated1);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,6 +486,55 @@ TEST(PrometheusText, RendersCountersGaugesAndCumulativeHistograms) {
 TEST(PrometheusText, EmptyRegistryRendersEmpty) {
   obs::MetricsRegistry reg;
   EXPECT_TRUE(obs::write_prometheus_text(reg).empty());
+}
+
+TEST(PrometheusText, HelpLinesPrecedeEveryTypeLine) {
+  obs::MetricsRegistry reg;
+  reg.add_counter(obs::Stage::kTour, "store.hit", 1);
+  reg.max_gauge(obs::Stage::kSymbolic, "bdd_live_nodes", 7);
+  reg.observe(obs::Stage::kSimulate, "clean_run", 3);
+
+  const std::string text = obs::write_prometheus_text(reg);
+  // Golden HELP lines for the known vocabulary, counter name with _total.
+  EXPECT_NE(text.find("# HELP simcov_store_hit_total "
+                      "Artifact-store lookups served from disk.\n"
+                      "# TYPE simcov_store_hit_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP simcov_bdd_live_nodes "
+                      "Live BDD nodes of the symbolic backend.\n"
+                      "# TYPE simcov_bdd_live_nodes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP simcov_clean_run "
+                      "Implementation cycles per committed clean run.\n"
+                      "# TYPE simcov_clean_run histogram\n"),
+            std::string::npos);
+  // Every TYPE line is immediately preceded by its HELP line.
+  std::istringstream lines(text);
+  std::string prev;
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_EQ(prev.rfind("# HELP ", 0), 0u) << "TYPE without HELP: " << line;
+    }
+    prev = line;
+  }
+}
+
+TEST(PrometheusText, UnknownMetricNamesGetAGenericHelpLine) {
+  obs::MetricsRegistry reg;
+  reg.add_counter(obs::Stage::kTour, "weird.new.metric", 1);
+  const std::string text = obs::write_prometheus_text(reg);
+  EXPECT_NE(text.find("# HELP simcov_weird_new_metric_total simcov metric "
+                      "'weird.new.metric', aggregated per pipeline stage.\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, LabelValuesEscapePerExpositionFormat) {
+  EXPECT_EQ(obs::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
 }
 
 TEST(PrometheusText, LargeValuesKeepFullPrecision) {
